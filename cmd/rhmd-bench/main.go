@@ -1,0 +1,109 @@
+// Command rhmd-bench regenerates the paper's evaluation: one experiment
+// per figure (plus the §7 hardware and §8 PAC-bound results), printed as
+// tables and optionally exported as CSV.
+//
+// Usage:
+//
+//	rhmd-bench [-scale full|smoke] [-seed N] [-run fig8,fig16] [-csv DIR] [-list]
+//
+// The full scale is what EXPERIMENTS.md records; the smoke scale runs
+// the whole suite in a couple of minutes at reduced corpus size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"rhmd/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "full", "experiment scale: full or smoke")
+	seed := flag.Uint64("seed", 42, "corpus and training seed")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	csvDir := flag.String("csv", "", "directory to export per-table CSV files")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, x := range experiments.Registry() {
+			fmt.Printf("%-10s %s\n", x.ID, x.Desc)
+		}
+		return
+	}
+
+	var cfg experiments.Config
+	switch *scale {
+	case "full":
+		cfg = experiments.FullConfig(*seed)
+	case "smoke":
+		cfg = experiments.SmokeConfig(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	env, err := experiments.NewEnv(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("corpus: %d programs (%d benign/family x %d families benign, %d malware/family), trace %d, period %d, seed %d\n\n",
+		len(env.Corpus.Programs), cfg.BenignPerFamily, 6, cfg.MalwarePerFamily, cfg.TraceLen, cfg.Period, *seed)
+
+	var ids []string
+	if *run != "" {
+		ids = strings.Split(*run, ",")
+	}
+
+	list2 := experiments.Registry()
+	if len(ids) > 0 {
+		list2 = nil
+		for _, id := range ids {
+			x, err := experiments.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			list2 = append(list2, x)
+		}
+	}
+
+	for _, x := range list2 {
+		t0 := time.Now()
+		tables, err := x.Run(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", x.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Print(os.Stdout)
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, t); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("  [%s in %.1fs]\n\n", x.ID, time.Since(t0).Seconds())
+	}
+	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
+}
+
+func writeCSV(dir string, t *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	t.CSV(f)
+	return nil
+}

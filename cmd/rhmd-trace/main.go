@@ -1,0 +1,127 @@
+// Command rhmd-trace generates synthetic programs from the family
+// library, executes them, and prints trace statistics and per-window
+// feature vectors — the inspection tool for the corpus substrate.
+//
+// Usage:
+//
+//	rhmd-trace -family packer -seed 7 -len 50000 -period 5000 [-windows 3] [-hist]
+//	rhmd-trace -families            # list available families
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rhmd/internal/features"
+	"rhmd/internal/isa"
+	"rhmd/internal/prog"
+	"rhmd/internal/rng"
+	"rhmd/internal/trace"
+)
+
+func main() {
+	family := flag.String("family", "browser", "program family to generate")
+	seed := flag.Uint64("seed", 1, "generation/trace seed")
+	length := flag.Int("len", 50_000, "instructions to trace")
+	period := flag.Int("period", 5_000, "collection period")
+	windows := flag.Int("windows", 2, "feature windows to print")
+	hist := flag.Bool("hist", false, "print the dynamic opcode histogram")
+	listFams := flag.Bool("families", false, "list families and exit")
+	flag.Parse()
+
+	if *listFams {
+		for _, f := range prog.AllFamilies() {
+			label := "benign"
+			if f.Malware {
+				label = "malware"
+			}
+			fmt.Printf("%-12s %s\n", f.Family, label)
+		}
+		return
+	}
+
+	var profile *prog.Profile
+	for _, f := range prog.AllFamilies() {
+		if f.Family == *family {
+			profile = f
+			break
+		}
+	}
+	if profile == nil {
+		fmt.Fprintf(os.Stderr, "unknown family %q (try -families)\n", *family)
+		os.Exit(2)
+	}
+
+	p, err := prog.Generate(profile, rng.New(*seed), fmt.Sprintf("%s-%d", *family, *seed), *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("program %s (%s): %d functions, %d blocks, %d static instructions, %d bytes\n",
+		p.Name, p.Label, len(p.Funcs), p.NumBlocks(), p.StaticInstructions(), p.StaticBytes())
+
+	counts := make([]int, isa.NumOps)
+	sink := trace.SinkFunc(func(e *trace.Event) { counts[e.Op]++ })
+	st, err := trace.Exec(p, trace.Config{MaxInstructions: *length}, sink)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace: %d instructions, %d loads, %d stores, %d branches (%.1f%% taken), %d calls, %d restarts\n",
+		st.Total, st.Loads, st.Stores, st.Branches,
+		100*float64(st.Taken)/float64(max(1, st.Branches)), st.Calls, st.Restarts)
+
+	if *hist {
+		type oc struct {
+			op isa.Op
+			n  int
+		}
+		var all []oc
+		for op, n := range counts {
+			if n > 0 {
+				all = append(all, oc{isa.Op(op), n})
+			}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].n > all[j].n })
+		fmt.Println("\ndynamic opcode histogram:")
+		for _, e := range all {
+			fmt.Printf("  %-8s %7d  %5.2f%%\n", e.op, e.n, 100*float64(e.n)/float64(st.Total))
+		}
+	}
+
+	ws, err := features.Extract(p, *period, *length)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nfeatures: %d windows at period %d\n", ws.Windows, *period)
+	for w := 0; w < *windows && w < ws.Windows; w++ {
+		fmt.Printf("window %d [%d,%d):\n", w, ws.Bounds[w][0], ws.Bounds[w][1])
+		for _, k := range features.AllKinds() {
+			names := k.Names()
+			fmt.Printf("  %s:", k)
+			row := ws.Rows(k)[w]
+			printed := 0
+			for i, v := range row {
+				if v < 0.005 {
+					continue
+				}
+				fmt.Printf(" %s=%.3f", names[i], v)
+				printed++
+				if printed >= 8 {
+					break
+				}
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module rhmd
+
+go 1.22

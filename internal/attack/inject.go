@@ -1,0 +1,349 @@
+package attack
+
+import (
+	"fmt"
+	"sort"
+
+	"rhmd/internal/features"
+	"rhmd/internal/hmd"
+	"rhmd/internal/isa"
+	"rhmd/internal/ml"
+	"rhmd/internal/prog"
+	"rhmd/internal/rng"
+	"rhmd/internal/trace"
+)
+
+// Strategy selects how injection payloads are chosen (§5 of the paper).
+type Strategy uint8
+
+// Injection strategies.
+const (
+	// Random injects uniformly random injectable instructions — the
+	// paper's control experiment (Figure 6), expected NOT to evade.
+	Random Strategy = iota
+	// LeastWeight injects copies of the single instruction with the most
+	// negative effective weight in the (reverse-engineered) model
+	// (Figure 8).
+	LeastWeight
+	// Weighted samples among all negative-weight instructions with
+	// probability proportional to |weight| (Figure 10).
+	Weighted
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case LeastWeight:
+		return "least-weight"
+	case Weighted:
+		return "weighted"
+	}
+	return "random"
+}
+
+// EffectiveWeights collapses a detector into one linear weight per RAW
+// feature component (before feature selection and scaling), the
+// representation the injection strategies reason over:
+//
+//   - LR/SVM: the model weights, un-scaled by the standardizer
+//     (w_model / σ) and scattered back through the feature selection;
+//   - NN: the paper's §5 collapse w_j = Σ_i w_ji·w_i^out, then the same
+//     un-scaling;
+//   - DT: no usable gradient direction — an error, as in practice
+//     (the paper's injection strategies target LR and NN victims).
+func EffectiveWeights(d *hmd.Detector) ([]float64, error) {
+	var w []float64
+	switch m := d.Model.(type) {
+	case *ml.LRModel:
+		w = append([]float64(nil), m.W...)
+	case *ml.SVMModel:
+		w = append([]float64(nil), m.W...)
+	case *ml.MLPModel:
+		w = m.CollapseWeights()
+	default:
+		return nil, fmt.Errorf("attack: model %T has no linear weight structure", d.Model)
+	}
+	// Undo standardization: model sees (x-μ)/σ, so sensitivity to the raw
+	// feature j is w_j/σ_j.
+	for j := range w {
+		w[j] /= d.Scaler.Std[j]
+	}
+	// Scatter through feature selection back to raw dimensionality.
+	raw := make([]float64, d.Spec.Kind.Dim())
+	if d.FeatureIdx == nil {
+		if len(w) != len(raw) {
+			return nil, fmt.Errorf("attack: weight dim %d != raw dim %d", len(w), len(raw))
+		}
+		copy(raw, w)
+	} else {
+		for sel, rawIdx := range d.FeatureIdx {
+			raw[rawIdx] = w[sel]
+		}
+	}
+	return raw, nil
+}
+
+// Plan is a concrete mimicry transformation: a payload injected at every
+// site of the chosen level.
+type Plan struct {
+	Strategy Strategy
+	Level    prog.InjectLevel
+	// Count is the number of instructions injected per site.
+	Count int
+	// Ops is the payload (length Count).
+	Ops []isa.Op
+	// MemDelta is the controlled address delta for injected memory
+	// instructions (Memory-feature evasion).
+	MemDelta int64
+	// Payload, when non-nil, overrides Ops/MemDelta with a fully
+	// specified instruction sequence (used by the multi-detector
+	// white-box attack, which needs per-instruction memory deltas).
+	Payload prog.Payload
+}
+
+// String renders the plan for experiment tables.
+func (p Plan) String() string {
+	return fmt.Sprintf("%s x%d @%s", p.Strategy, p.Count, p.Level)
+}
+
+// BuildPlan derives an injection plan of count instructions per site from
+// a model of the detector (normally the reverse-engineered surrogate;
+// using the victim itself gives the paper's white-box reference curves).
+//
+// For the Instructions feature the payload pushes the most negative
+// opcode weights; for the Memory feature it issues loads whose fixed
+// address delta lands in the most negative histogram bin. The
+// Architectural feature is not directly controllable by injection — the
+// paper makes the same observation (§5) — so BuildPlan returns an error
+// for it.
+func BuildPlan(d *hmd.Detector, strategy Strategy, count int, level prog.InjectLevel, r *rng.Source) (Plan, error) {
+	if count <= 0 {
+		return Plan{}, fmt.Errorf("attack: payload count must be positive, got %d", count)
+	}
+	plan := Plan{Strategy: strategy, Level: level, Count: count}
+
+	if strategy == Random {
+		inj := isa.Injectable()
+		plan.Ops = make([]isa.Op, count)
+		for i := range plan.Ops {
+			plan.Ops[i] = inj[r.Intn(len(inj))]
+		}
+		plan.MemDelta = 8
+		return plan, nil
+	}
+
+	w, err := EffectiveWeights(d)
+	if err != nil {
+		return Plan{}, err
+	}
+
+	switch d.Spec.Kind {
+	case features.Instructions:
+		type cand struct {
+			op isa.Op
+			w  float64
+		}
+		var negs []cand
+		for _, op := range isa.Injectable() {
+			if w[op] < 0 {
+				negs = append(negs, cand{op, w[op]})
+			}
+		}
+		if len(negs) == 0 {
+			return Plan{}, fmt.Errorf("attack: no injectable opcode with negative weight")
+		}
+		sort.Slice(negs, func(a, b int) bool { return negs[a].w < negs[b].w })
+		plan.Ops = make([]isa.Op, count)
+		switch strategy {
+		case LeastWeight:
+			for i := range plan.Ops {
+				plan.Ops[i] = negs[0].op
+			}
+		case Weighted:
+			weights := make([]float64, len(negs))
+			for i, c := range negs {
+				weights[i] = -c.w
+			}
+			cat, err := rng.NewCategorical(weights)
+			if err != nil {
+				return Plan{}, fmt.Errorf("attack: %v", err)
+			}
+			for i := range plan.Ops {
+				plan.Ops[i] = negs[cat.Sample(r)].op
+			}
+		}
+		return plan, nil
+
+	case features.Memory:
+		// Find the histogram bin with the most negative weight and emit
+		// loads at a delta inside it ("insertion of load and store
+		// instructions with controlled distances", §5).
+		best := -1
+		for bin, bw := range w {
+			if bw < 0 && (best < 0 || bw < w[best]) {
+				best = bin
+			}
+		}
+		if best < 0 {
+			return Plan{}, fmt.Errorf("attack: no memory bin with negative weight")
+		}
+		plan.Ops = make([]isa.Op, count)
+		for i := range plan.Ops {
+			plan.Ops[i] = isa.MOVLD
+		}
+		if best == 0 {
+			plan.MemDelta = 0
+		} else {
+			plan.MemDelta = int64(1) << (best - 1) // smallest delta in bin
+		}
+		return plan, nil
+
+	default:
+		return Plan{}, fmt.Errorf("attack: %s feature is not directly controllable by injection (paper §5)", d.Spec.Kind)
+	}
+}
+
+// Apply produces the evasive variant of one malware program.
+func (p Plan) Apply(m *prog.Program) (*prog.Program, error) {
+	payload := p.Payload
+	if payload == nil {
+		var err error
+		payload, err = prog.NewPayload(p.Ops, p.MemDelta)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return prog.Inject(m, payload, p.Level), nil
+}
+
+// IterativePlan implements the paper's §8.3 white-box attack: an attacker
+// who "knows precisely the configuration of the base detectors of an
+// RHMD ... can evade it, for example, by iteratively evading each". The
+// plan concatenates a least-weight payload against every base detector
+// whose feature is injection-controllable (Instructions and Memory;
+// Architectural is skipped as in §5). The price is exactly the paper's
+// observation: "This approach incurs a high overhead since instructions
+// need to be injected to evade each of the detectors."
+func IterativePlan(pool []*hmd.Detector, countPer int, level prog.InjectLevel, r *rng.Source) (Plan, error) {
+	if len(pool) == 0 {
+		return Plan{}, fmt.Errorf("attack: empty pool")
+	}
+	plan := Plan{Strategy: LeastWeight, Level: level}
+	seen := map[string]bool{} // detectors sharing kind+algo add nothing new
+	for _, d := range pool {
+		key := d.Spec.Kind.String() + "/" + d.Spec.Algo
+		if d.Spec.Kind == features.Architectural || seen[key] {
+			continue
+		}
+		sub, err := BuildPlan(d, LeastWeight, countPer, level, r)
+		if err != nil {
+			// A detector with no negative direction cannot be pushed;
+			// skip it rather than fail the whole attack.
+			continue
+		}
+		payload, err := prog.NewPayload(sub.Ops, sub.MemDelta)
+		if err != nil {
+			return Plan{}, err
+		}
+		plan.Payload = append(plan.Payload, payload...)
+		plan.Ops = append(plan.Ops, sub.Ops...)
+		seen[key] = true
+	}
+	if len(plan.Payload) == 0 {
+		return Plan{}, fmt.Errorf("attack: no controllable detector in pool")
+	}
+	plan.Count = len(plan.Payload)
+	return plan, nil
+}
+
+// ProgramDetector is the program-level detection surface (implemented by
+// hmd.Detector and core.RHMD): does the detector flag this binary?
+type ProgramDetector interface {
+	DetectTraced(p *prog.Program, traceLen int) (bool, error)
+}
+
+// EvasionResult summarizes one evasion experiment over a malware set.
+type EvasionResult struct {
+	Total           int
+	DetectedBefore  int     // programs detected unmodified
+	DetectedAfter   int     // detected after injection, among DetectedBefore
+	StaticOverhead  float64 // mean, over modified programs
+	DynamicOverhead float64
+}
+
+// DetectionRate returns the post-injection detection rate among the
+// malware the detector originally caught — the y-axis of the paper's
+// Figures 6, 8, 10 and 16.
+func (r EvasionResult) DetectionRate() float64 {
+	if r.DetectedBefore == 0 {
+		return 0
+	}
+	return float64(r.DetectedAfter) / float64(r.DetectedBefore)
+}
+
+// BaseDetectionRate returns the pre-injection detection rate over all
+// malware.
+func (r EvasionResult) BaseDetectionRate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.DetectedBefore) / float64(r.Total)
+}
+
+// EvaluateEvasion applies the plan to every malware program that the
+// detector currently catches and measures how many evasive variants are
+// still detected, plus the static/dynamic overhead of the modification.
+// A zero-count plan is allowed and means "measure the baseline".
+func EvaluateEvasion(det ProgramDetector, malware []*prog.Program, plan Plan, traceLen int) (EvasionResult, error) {
+	var res EvasionResult
+	res.Total = len(malware)
+	var overheadN int
+	for _, m := range malware {
+		caught, err := det.DetectTraced(m, traceLen)
+		if err != nil {
+			return res, fmt.Errorf("attack: baseline detection of %s: %w", m.Name, err)
+		}
+		if !caught {
+			continue
+		}
+		res.DetectedBefore++
+		if plan.Count == 0 {
+			res.DetectedAfter++
+			continue
+		}
+		mod, err := plan.Apply(m)
+		if err != nil {
+			return res, err
+		}
+		caughtAfter, err := det.DetectTraced(mod, traceLen)
+		if err != nil {
+			return res, fmt.Errorf("attack: post-injection detection of %s: %w", m.Name, err)
+		}
+		if caughtAfter {
+			res.DetectedAfter++
+		}
+		res.StaticOverhead += prog.StaticOverhead(m, mod)
+		st, err := trace.Exec(mod, trace.Config{MaxInstructions: traceLen, BudgetOriginalOnly: true}, nil)
+		if err != nil {
+			return res, err
+		}
+		res.DynamicOverhead += st.DynamicOverhead()
+		overheadN++
+	}
+	if overheadN > 0 {
+		res.StaticOverhead /= float64(overheadN)
+		res.DynamicOverhead /= float64(overheadN)
+	}
+	return res, nil
+}
+
+// MalwareOf filters a program list to its malware members.
+func MalwareOf(programs []*prog.Program) []*prog.Program {
+	var out []*prog.Program
+	for _, p := range programs {
+		if p.Label == prog.Malware {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rhmd/internal/hmd"
+)
+
+// rhmdJSON is the RHMD wire format: the trained pool, the switching
+// policy, and the switching key. Shipping the key with the model mirrors
+// provisioning the hardware's secret entropy seed; deployments that derive
+// the key on-device should zero it before export.
+type rhmdJSON struct {
+	Detectors []*hmd.Detector `json:"detectors"`
+	Probs     []float64       `json:"probs"`
+	Key       uint64          `json:"key"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (r *RHMD) MarshalJSON() ([]byte, error) {
+	return json.Marshal(rhmdJSON{Detectors: r.Detectors, Probs: r.Probs, Key: r.Key})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, re-validating the pool and
+// rebuilding the sampler.
+func (r *RHMD) UnmarshalJSON(data []byte) error {
+	var in rhmdJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	rebuilt, err := NewWeighted(in.Detectors, in.Probs, in.Key)
+	if err != nil {
+		return fmt.Errorf("core: persisted RHMD invalid: %w", err)
+	}
+	*r = *rebuilt
+	return nil
+}
+
+// SaveRHMD writes the randomized detector as JSON.
+func SaveRHMD(w io.Writer, r *RHMD) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// LoadRHMD reads an RHMD written by SaveRHMD.
+func LoadRHMD(rd io.Reader) (*RHMD, error) {
+	var r RHMD
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("core: loading RHMD: %w", err)
+	}
+	return &r, nil
+}

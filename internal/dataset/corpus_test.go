@@ -1,0 +1,215 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"rhmd/internal/features"
+	"rhmd/internal/prog"
+)
+
+func smallConfig(seed uint64) Config {
+	return Config{BenignPerFamily: 4, MalwarePerFamily: 4, TraceLen: 20_000, Seed: seed}
+}
+
+func TestBuildCorpus(t *testing.T) {
+	c, err := Build(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB := 4 * len(prog.BenignFamilies())
+	wantM := 4 * len(prog.MalwareFamilies())
+	var nb, nm int
+	names := map[string]bool{}
+	for _, p := range c.Programs {
+		if names[p.Name] {
+			t.Fatalf("duplicate program name %s", p.Name)
+		}
+		names[p.Name] = true
+		if p.Label == prog.Malware {
+			nm++
+		} else {
+			nb++
+		}
+	}
+	if nb != wantB || nm != wantM {
+		t.Fatalf("corpus has %d benign %d malware, want %d/%d", nb, nm, wantB, wantM)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Programs {
+		if a.Programs[i].Seed != b.Programs[i].Seed ||
+			a.Programs[i].OpcodeHistogram() != b.Programs[i].OpcodeHistogram() {
+			t.Fatalf("program %d differs across identical builds", i)
+		}
+	}
+	c, err := Build(smallConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Programs[0].OpcodeHistogram() == a.Programs[0].OpcodeHistogram() {
+		t.Fatal("different corpus seeds produced identical first program")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Build(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := Build(Config{BenignPerFamily: 1, MalwarePerFamily: 1, TraceLen: 10}); err == nil {
+		t.Fatal("tiny trace accepted")
+	}
+}
+
+func TestSplitCoversEveryFamilyInEveryGroup(t *testing.T) {
+	c, err := Build(Config{BenignPerFamily: 10, MalwarePerFamily: 10, TraceLen: 20_000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := c.Split([]float64{0.6, 0.2, 0.2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups", len(groups))
+	}
+	total := 0
+	for g, group := range groups {
+		fams := map[string]bool{}
+		for _, p := range group {
+			fams[p.Family] = true
+		}
+		if len(fams) != len(prog.AllFamilies()) {
+			t.Fatalf("group %d covers %d families, want %d", g, len(fams), len(prog.AllFamilies()))
+		}
+		total += len(group)
+	}
+	if total != len(c.Programs) {
+		t.Fatalf("split covers %d of %d programs", total, len(c.Programs))
+	}
+	// 60/20/20 proportions, roughly.
+	if f := float64(len(groups[0])) / float64(total); math.Abs(f-0.6) > 0.08 {
+		t.Fatalf("victim fraction %v", f)
+	}
+}
+
+func TestSplitDisjoint(t *testing.T) {
+	c, _ := Build(smallConfig(4))
+	groups, err := c.Split([]float64{0.5, 0.5}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[*prog.Program]bool{}
+	for _, g := range groups {
+		for _, p := range g {
+			if seen[p] {
+				t.Fatalf("program %s in two groups", p.Name)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestExtractWindows(t *testing.T) {
+	c, _ := Build(smallConfig(5))
+	progs := c.Programs[:6]
+	mw, err := ExtractWindows(progs, 2000, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 6 * 10 // 20K/2K windows each
+	for _, k := range features.AllKinds() {
+		wd := mw.Get(k)
+		if wd.Len() != wantRows {
+			t.Fatalf("%v has %d rows, want %d", k, wd.Len(), wantRows)
+		}
+		if len(wd.Y) != wantRows || len(wd.ProgIdx) != wantRows {
+			t.Fatal("labels/progidx misaligned")
+		}
+		for row, pi := range wd.ProgIdx {
+			wantLabel := 0
+			if progs[pi].Label == prog.Malware {
+				wantLabel = 1
+			}
+			if wd.Y[row] != wantLabel {
+				t.Fatalf("row %d label %d, want %d", row, wd.Y[row], wantLabel)
+			}
+		}
+	}
+}
+
+func TestExtractWindowsParallelDeterministic(t *testing.T) {
+	c, _ := Build(smallConfig(6))
+	progs := c.Programs[:8]
+	a, err := ExtractWindows(progs, 2000, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExtractWindows(progs, 2000, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range features.AllKinds() {
+		xa, xb := a.Get(k).X, b.Get(k).X
+		for i := range xa {
+			for j := range xa[i] {
+				if xa[i][j] != xb[i][j] {
+					t.Fatalf("parallel extraction non-deterministic at %v[%d][%d]", k, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestExtractWindowsErrors(t *testing.T) {
+	if _, err := ExtractWindows(nil, 1000, 10000); err == nil {
+		t.Fatal("empty program list accepted")
+	}
+	c, _ := Build(smallConfig(7))
+	if _, err := ExtractWindows(c.Programs[:1], 0, 10000); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestByProgram(t *testing.T) {
+	c, _ := Build(smallConfig(8))
+	mw, err := ExtractWindows(c.Programs[:3], 2000, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd := mw.Get(features.Instructions)
+	groups := wd.ByProgram()
+	if len(groups) != 3 {
+		t.Fatalf("ByProgram found %d programs", len(groups))
+	}
+	n := 0
+	for _, rows := range groups {
+		n += len(rows)
+	}
+	if n != wd.Len() {
+		t.Fatalf("ByProgram covers %d of %d rows", n, wd.Len())
+	}
+}
+
+func TestLabels(t *testing.T) {
+	c, _ := Build(smallConfig(9))
+	y := Labels(c.Programs)
+	for i, p := range c.Programs {
+		want := 0
+		if p.Label == prog.Malware {
+			want = 1
+		}
+		if y[i] != want {
+			t.Fatalf("label %d = %d, want %d", i, y[i], want)
+		}
+	}
+}

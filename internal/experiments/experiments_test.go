@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rhmd/internal/features"
+	"rhmd/internal/hmd"
+)
+
+var testEnv *Env
+
+func smokeEnv(t testing.TB) *Env {
+	t.Helper()
+	if testEnv == nil {
+		e, err := NewEnv(SmokeConfig(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		testEnv = e
+	}
+	return testEnv
+}
+
+func TestNewEnvSplit(t *testing.T) {
+	e := smokeEnv(t)
+	total := len(e.VictimTrain) + len(e.AtkTrain) + len(e.AtkTest)
+	if total != len(e.Corpus.Programs) {
+		t.Fatalf("split covers %d of %d programs", total, len(e.Corpus.Programs))
+	}
+	if len(e.VictimTrain) <= len(e.AtkTrain) {
+		t.Fatal("victim split should be the largest")
+	}
+	if len(e.AtkTestMalware()) == 0 {
+		t.Fatal("no malware in attacker test split")
+	}
+}
+
+func TestEnvCaching(t *testing.T) {
+	e := smokeEnv(t)
+	a, err := e.Windows("victim", e.Cfg.Period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Windows("victim", e.Cfg.Period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("window data not cached")
+	}
+	spec := hmd.Spec{Kind: features.Instructions, Period: e.Cfg.Period, Algo: "lr"}
+	d1, err := e.Victim(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := e.Victim(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatal("victim detector not cached")
+	}
+	if _, err := e.Windows("bogus", 1000); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+}
+
+func TestPeriodSweepContainsTruth(t *testing.T) {
+	cfg := SmokeConfig(1)
+	sweep := cfg.PeriodSweep()
+	found := false
+	for _, p := range sweep {
+		if p == cfg.Period {
+			found = true
+		}
+		if p <= 0 {
+			t.Fatalf("non-positive period %d in sweep", p)
+		}
+	}
+	if !found {
+		t.Fatal("sweep must include the victim period")
+	}
+	if sweep[0] >= cfg.Period || sweep[len(sweep)-1] <= cfg.Period {
+		t.Fatal("sweep should bracket the victim period")
+	}
+}
+
+func TestRegistryCoversAllFigures(t *testing.T) {
+	want := []string{"fig2", "fig3a", "fig3b", "fig4", "fig6", "fig8", "fig9",
+		"fig10", "fig11", "fig13", "fig14", "fig15", "fig16", "theorem1", "hw",
+		"ablation-ensemble", "ablation-switching", "ablation-whitebox"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Fatalf("registry[%d] = %s, want %s", i, reg[i].ID, id)
+		}
+		if reg[i].Run == nil || reg[i].Desc == "" {
+			t.Fatalf("registry entry %s incomplete", id)
+		}
+	}
+	if _, err := Lookup("fig8"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestFig2Driver(t *testing.T) {
+	e := smokeEnv(t)
+	tables, err := Fig2BaselineDetectors(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 3 {
+		t.Fatalf("fig2 produced %d tables", len(tables))
+	}
+	for _, row := range tables[0].Rows {
+		if len(row) != 5 {
+			t.Fatalf("row width %d", len(row))
+		}
+	}
+}
+
+func TestFig9Driver(t *testing.T) {
+	e := smokeEnv(t)
+	tables, err := Fig9InjectionOverhead(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("fig9 rows = %d", len(rows))
+	}
+	// Static block-level overhead must grow monotonically with count.
+	prev := -1.0
+	for _, row := range rows {
+		v := parsePct(t, row[1])
+		if v <= prev {
+			t.Fatalf("static overhead not monotone: %v", rows)
+		}
+		prev = v
+	}
+}
+
+func TestHWDriver(t *testing.T) {
+	e := smokeEnv(t)
+	tables, err := HWCostEstimate(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 3 {
+		t.Fatalf("hw rows = %d", len(tables[0].Rows))
+	}
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percentage cell %q", s)
+	}
+	return v
+}
+
+func TestTablePrintAndCSV(t *testing.T) {
+	tbl := &Table{
+		ID:      "t1",
+		Title:   "demo",
+		Note:    "note",
+		Columns: []string{"a", "b,с"},
+	}
+	tbl.AddRow("x", 0.5)
+	tbl.AddRow(3, `quo"te`)
+	var buf bytes.Buffer
+	tbl.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "0.500") {
+		t.Fatalf("print output wrong:\n%s", out)
+	}
+	buf.Reset()
+	tbl.CSV(&buf)
+	csv := buf.String()
+	if !strings.Contains(csv, `"b,с"`) {
+		t.Fatalf("comma column not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `"quo""te"`) {
+		t.Fatalf("quote not escaped: %s", csv)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.1234) != "12.3%" {
+		t.Fatalf("Pct = %s", Pct(0.1234))
+	}
+}
+
+func TestAtkSpec(t *testing.T) {
+	s := atkSpec(features.Instructions, 2000, "lr")
+	if s.TopK != AttackerTopK {
+		t.Fatal("instruction surrogate must widen TopK")
+	}
+	s2 := atkSpec(features.Memory, 2000, "lr")
+	if s2.TopK != 0 {
+		t.Fatal("memory surrogate must not set TopK")
+	}
+}

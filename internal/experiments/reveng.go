@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rhmd/internal/attack"
+	"rhmd/internal/features"
+	"rhmd/internal/hmd"
+)
+
+// AttackerTopK is the instruction-mix width reverse-engineering
+// surrogates hypothesize. The attacker does not know which top-delta
+// opcodes the victim's training selected, so it uses a somewhat larger
+// candidate set that covers them (paper §4: "the attacker has a set of
+// candidate features that includes the feature used by the target
+// detector").
+const AttackerTopK = 24
+
+// atkSpec builds an attacker hypothesis spec; instruction surrogates get
+// the enlarged candidate set.
+func atkSpec(kind features.Kind, period int, algo string) hmd.Spec {
+	s := hmd.Spec{Kind: kind, Period: period, Algo: algo}
+	if kind == features.Instructions {
+		s.TopK = AttackerTopK
+	}
+	return s
+}
+
+// canonicalVictim is the detector most experiments attack: the
+// hardware-preferred LR over the Instructions feature at the canonical
+// period.
+func (e *Env) canonicalVictim() (hmd.Spec, *hmd.Detector, error) {
+	spec := hmd.Spec{Kind: features.Instructions, Period: e.Cfg.Period, Algo: "lr"}
+	d, err := e.Victim(spec)
+	return spec, d, err
+}
+
+// surrogateAgreement trains a surrogate under the hypothesis spec and
+// measures agreement on the attacker test set. Victim labels (train and
+// test side) and attacker window extractions are cached in the Env.
+func (e *Env) surrogateAgreement(victimKey string, v attack.Victim, spec hmd.Spec, seed uint64) (float64, error) {
+	s, err := e.Surrogate(victimKey, v, spec, seed)
+	if err != nil {
+		return 0, err
+	}
+	tl, err := e.TestLabels(victimKey, v)
+	if err != nil {
+		return 0, err
+	}
+	return attack.AgreementWithLabels(tl, s)
+}
+
+// Fig3aPeriodSweep reproduces Figure 3a: the attacker infers the
+// victim's collection period because reverse-engineering accuracy peaks
+// when the hypothesized period matches (victim: LR/Instructions at the
+// canonical period; attacker algorithms LR, DT, SVM).
+func Fig3aPeriodSweep(e *Env) ([]*Table, error) {
+	vspec, victim, err := e.canonicalVictim()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "fig3a",
+		Title: fmt.Sprintf("Reverse-engineering the collection period (victim %s)", vspec),
+		Note: "Paper: for every attacker algorithm, agreement is highest at the victim's " +
+			"true period; mismatched periods blur the labels.",
+		Columns: []string{"attacker period", "LR", "DT", "SVM"},
+	}
+	for _, period := range e.Cfg.PeriodSweep() {
+		row := []interface{}{fmt.Sprintf("%d", period)}
+		for _, algo := range []string{"lr", "dt", "svm"} {
+			spec := atkSpec(features.Instructions, period, algo)
+			agree, err := e.surrogateAgreement(vspec.String(), victim, spec, e.Cfg.Seed+3)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, Pct(agree))
+		}
+		if period == e.Cfg.Period {
+			row[0] = row[0].(string) + " (victim)"
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}, nil
+}
+
+// Fig3bFeatureSweep reproduces Figure 3b: the attacker infers the
+// victim's feature vector — agreement is highest when the hypothesized
+// feature matches the victim's (Instructions).
+func Fig3bFeatureSweep(e *Env) ([]*Table, error) {
+	vspec, victim, err := e.canonicalVictim()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "fig3b",
+		Title: fmt.Sprintf("Reverse-engineering the feature vector (victim %s)", vspec),
+		Note: "Paper: agreement peaks at the victim's true feature (Instructions) for " +
+			"every attacker algorithm.",
+		Columns: []string{"attacker feature", "LR", "DT", "SVM"},
+	}
+	for _, kind := range []features.Kind{features.Memory, features.Instructions, features.Architectural} {
+		row := []interface{}{kind.String()}
+		for _, algo := range []string{"lr", "dt", "svm"} {
+			spec := atkSpec(kind, e.Cfg.Period, algo)
+			agree, err := e.surrogateAgreement(vspec.String(), victim, spec, e.Cfg.Seed+4)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, Pct(agree))
+		}
+		if kind == vspec.Kind {
+			row[0] = row[0].(string) + " (victim)"
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}, nil
+}
+
+// Fig4ReverseEngineer reproduces Figures 4a/4b: reverse-engineering LR
+// and NN victims across all three features, with attacker algorithms
+// {LR, DT, NN} at the matched feature and period.
+func Fig4ReverseEngineer(e *Env) ([]*Table, error) {
+	var out []*Table
+	for _, victimAlgo := range []string{"lr", "nn"} {
+		sub := "a"
+		note := "Paper: LR victims are reverse-engineered almost exactly (<1% error for NN/LR attackers)."
+		if victimAlgo == "nn" {
+			sub = "b"
+			note = "Paper: NN victims are harder — NN attackers do best, linear LR attackers trail " +
+				"(a linear model cannot capture the non-linear boundary)."
+		}
+		t := &Table{
+			ID:      "fig4" + sub,
+			Title:   fmt.Sprintf("Reverse-engineering efficiency (victim algorithm %s)", victimAlgo),
+			Note:    note,
+			Columns: []string{"feature", "LR", "DT", "NN"},
+		}
+		for _, kind := range features.AllKinds() {
+			vspec := hmd.Spec{Kind: kind, Period: e.Cfg.Period, Algo: victimAlgo}
+			victim, err := e.Victim(vspec)
+			if err != nil {
+				return nil, err
+			}
+			row := []interface{}{kind.String()}
+			for _, algo := range []string{"lr", "dt", "nn"} {
+				spec := atkSpec(kind, e.Cfg.Period, algo)
+				agree, err := e.surrogateAgreement(vspec.String(), victim, spec, e.Cfg.Seed+5)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, Pct(agree))
+			}
+			t.AddRow(row...)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,418 @@
+// Package features turns dynamic instruction streams into the per-window
+// feature vectors the paper's detectors consume (§3):
+//
+//   - Instructions: executed opcode frequencies. The paper selects "the
+//     instructions that show the most different frequency (delta) between
+//     normal programs and malware in the training set"; extraction keeps
+//     the full opcode histogram and TopDeltaIndices performs that
+//     training-set-dependent selection.
+//   - Memory: a histogram of memory-reference address deltas "organized
+//     in bins based on the address difference between consecutive memory
+//     accesses".
+//   - Architectural: counts of architectural events per window (taken
+//     branches, mispredictions, cache misses, unaligned accesses, ...).
+//
+// A feature vector is computed over a collection window of a fixed number
+// of committed instructions (the paper's classification period, typically
+// 10K).
+package features
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"rhmd/internal/isa"
+	"rhmd/internal/prog"
+	"rhmd/internal/trace"
+	"rhmd/internal/uarch"
+)
+
+// Kind identifies one of the three feature-vector families.
+type Kind uint8
+
+// Feature kinds.
+const (
+	Instructions Kind = iota
+	Memory
+	Architectural
+	numKinds
+)
+
+// NumKinds is the number of feature families.
+const NumKinds = int(numKinds)
+
+// AllKinds lists every feature family.
+func AllKinds() []Kind { return []Kind{Instructions, Memory, Architectural} }
+
+var kindNames = [...]string{"instructions", "memory", "architectural"}
+
+// String returns the paper's name for the feature family.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ParseKind resolves a feature-family name.
+func ParseKind(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("features: unknown kind %q", s)
+}
+
+// MemBins is the number of log2 address-delta histogram bins.
+const MemBins = 24
+
+// Architectural event vector layout.
+const (
+	ArchTakenBranches = iota
+	ArchBranches
+	ArchMispredicts
+	ArchL1Misses
+	ArchL2Misses
+	ArchUnaligned
+	ArchLoads
+	ArchStores
+	ArchCalls
+	ArchReturns
+	ArchSyscalls
+	ArchStackOps
+	ArchDim
+)
+
+var archNames = [ArchDim]string{
+	"taken-branches", "branches", "mispredicts", "l1-misses", "l2-misses",
+	"unaligned", "loads", "stores", "calls", "returns", "syscalls", "stack-ops",
+}
+
+// Dim returns the dimensionality of the kind's raw vectors.
+func (k Kind) Dim() int {
+	switch k {
+	case Instructions:
+		return isa.NumOps
+	case Memory:
+		return MemBins
+	case Architectural:
+		return ArchDim
+	}
+	panic(fmt.Sprintf("features: invalid kind %d", uint8(k)))
+}
+
+// Names returns human-readable component names for the kind.
+func (k Kind) Names() []string {
+	switch k {
+	case Instructions:
+		out := make([]string, isa.NumOps)
+		for op := 0; op < isa.NumOps; op++ {
+			out[op] = isa.Op(op).String()
+		}
+		return out
+	case Memory:
+		out := make([]string, MemBins)
+		for i := range out {
+			out[i] = fmt.Sprintf("delta-2^%d", i)
+		}
+		return out
+	case Architectural:
+		out := make([]string, ArchDim)
+		copy(out, archNames[:])
+		return out
+	}
+	panic(fmt.Sprintf("features: invalid kind %d", uint8(k)))
+}
+
+// WindowSet holds the per-window feature matrices extracted from one
+// program trace. Rows are aligned across kinds: row i of every kind
+// describes the same window. Bounds[i] records the instruction range
+// [start, end) of window i; for fixed-period extraction every window has
+// length Period, while scheduled extraction (ExtractScheduled) produces
+// variable-length windows and leaves Period at 0.
+type WindowSet struct {
+	Period  int
+	Windows int
+	Bounds  [][2]int
+	Vectors [NumKinds][][]float64
+}
+
+// Rows returns the feature matrix for one kind.
+func (w *WindowSet) Rows(k Kind) [][]float64 { return w.Vectors[k] }
+
+// extractor implements trace.Sink, accumulating all three feature
+// families per window over a shared µarch pipeline. nextLen yields the
+// length of each successive window, allowing both fixed-period and
+// scheduled (randomized-period) extraction.
+type extractor struct {
+	nextLen func() int
+	pipe    *uarch.Pipeline
+
+	curLen   int
+	start    int
+	total    int
+	count    int
+	opCounts [isa.NumOps]float64
+	memHist  [MemBins]float64
+	memRefs  float64
+	arch     [ArchDim]float64
+	lastAddr uint64
+	haveAddr bool
+
+	out WindowSet
+}
+
+// Event implements trace.Sink.
+func (x *extractor) Event(e *trace.Event) {
+	o := x.pipe.Process(e)
+
+	x.opCounts[e.Op]++
+
+	if o.IsMem {
+		x.memRefs++
+		if x.haveAddr {
+			x.memHist[deltaBin(x.lastAddr, e.Addr)]++
+		}
+		x.lastAddr = e.Addr
+		x.haveAddr = true
+	}
+
+	switch {
+	case o.IsBranch:
+		x.arch[ArchBranches]++
+		if o.Taken {
+			x.arch[ArchTakenBranches]++
+		}
+		if o.Mispredict {
+			x.arch[ArchMispredicts]++
+		}
+	}
+	if o.IsMem {
+		if o.L1Miss {
+			x.arch[ArchL1Misses]++
+		}
+		if o.L2Miss {
+			x.arch[ArchL2Misses]++
+		}
+		if o.Unaligned {
+			x.arch[ArchUnaligned]++
+		}
+	}
+	info := e.Op.Info()
+	if info.Load {
+		x.arch[ArchLoads]++
+	}
+	if info.Store {
+		x.arch[ArchStores]++
+	}
+	switch e.Op.Class() {
+	case isa.ClassCall:
+		x.arch[ArchCalls]++
+	case isa.ClassRet:
+		x.arch[ArchReturns]++
+	case isa.ClassSystem:
+		x.arch[ArchSyscalls]++
+	case isa.ClassStack:
+		x.arch[ArchStackOps]++
+	}
+
+	x.count++
+	x.total++
+	if x.count >= x.curLen {
+		x.flush()
+	}
+}
+
+// deltaBin maps the absolute address difference between consecutive
+// memory references to a log2 bin, saturating at the top bin.
+func deltaBin(prev, cur uint64) int {
+	var d uint64
+	if cur >= prev {
+		d = cur - prev
+	} else {
+		d = prev - cur
+	}
+	if d == 0 {
+		return 0
+	}
+	b := bits.Len64(d) // 1 + floor(log2 d)
+	if b >= MemBins {
+		return MemBins - 1
+	}
+	return b
+}
+
+// flush normalizes the window accumulators into feature rows and resets
+// them. Instruction frequencies are normalized by window length, memory
+// bins by the number of references (a distribution), architectural
+// events by window length.
+func (x *extractor) flush() {
+	n := float64(x.count)
+
+	iv := make([]float64, isa.NumOps)
+	for i := range iv {
+		iv[i] = x.opCounts[i] / n
+	}
+	mv := make([]float64, MemBins)
+	if x.memRefs > 0 {
+		for i := range mv {
+			mv[i] = x.memHist[i] / x.memRefs
+		}
+	}
+	av := make([]float64, ArchDim)
+	for i := range av {
+		av[i] = x.arch[i] / n
+	}
+
+	x.out.Vectors[Instructions] = append(x.out.Vectors[Instructions], iv)
+	x.out.Vectors[Memory] = append(x.out.Vectors[Memory], mv)
+	x.out.Vectors[Architectural] = append(x.out.Vectors[Architectural], av)
+	x.out.Bounds = append(x.out.Bounds, [2]int{x.start, x.total})
+	x.out.Windows++
+
+	x.start = x.total
+	x.count = 0
+	x.curLen = x.nextLen()
+	x.opCounts = [isa.NumOps]float64{}
+	x.memHist = [MemBins]float64{}
+	x.memRefs = 0
+	x.arch = [ArchDim]float64{}
+}
+
+// Extract traces p for maxInstr committed instructions and returns the
+// per-window feature vectors at the given collection period. Partial
+// trailing windows are discarded, as a hardware implementation flushing
+// at period boundaries would.
+func Extract(p *prog.Program, period, maxInstr int) (*WindowSet, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("features: period must be positive, got %d", period)
+	}
+	if maxInstr < period {
+		return nil, fmt.Errorf("features: trace budget %d below period %d", maxInstr, period)
+	}
+	x := &extractor{
+		nextLen: func() int { return period },
+		curLen:  period,
+		pipe:    uarch.NewDefaultPipeline(),
+	}
+	x.out.Period = period
+	if _, err := trace.Exec(p, trace.Config{MaxInstructions: maxInstr}, x); err != nil {
+		return nil, err
+	}
+	if x.out.Windows == 0 {
+		return nil, fmt.Errorf("features: trace of %q produced no complete windows", p.Name)
+	}
+	return &x.out, nil
+}
+
+// ExtractScheduled traces p with a caller-supplied window schedule: next
+// is called for the length of each successive window (it must return a
+// positive value). This is how an RHMD with heterogeneous collection
+// periods observes a program — each window's length is that of the base
+// detector randomly selected for it. The trailing partial window is
+// discarded.
+func ExtractScheduled(p *prog.Program, next func() int, maxInstr int) (*WindowSet, error) {
+	if maxInstr <= 0 {
+		return nil, fmt.Errorf("features: trace budget %d must be positive", maxInstr)
+	}
+	first := next()
+	if first <= 0 {
+		return nil, fmt.Errorf("features: schedule produced non-positive window %d", first)
+	}
+	x := &extractor{
+		nextLen: func() int {
+			n := next()
+			if n <= 0 {
+				n = 1 // defensive: a broken schedule must not wedge extraction
+			}
+			return n
+		},
+		curLen: first,
+		pipe:   uarch.NewDefaultPipeline(),
+	}
+	if _, err := trace.Exec(p, trace.Config{MaxInstructions: maxInstr}, x); err != nil {
+		return nil, err
+	}
+	if x.out.Windows == 0 {
+		return nil, fmt.Errorf("features: scheduled trace of %q produced no complete windows", p.Name)
+	}
+	return &x.out, nil
+}
+
+// TopDeltaIndices implements the paper's instruction-feature selection:
+// rank components by the absolute difference between their mean value in
+// malware windows and in benign windows, and return the indices of the k
+// largest deltas (in rank order). It applies to any feature kind but the
+// paper uses it for Instructions.
+func TopDeltaIndices(malware, benign [][]float64, k int) []int {
+	if len(malware) == 0 || len(benign) == 0 {
+		return nil
+	}
+	dim := len(malware[0])
+	mMean := columnMeans(malware, dim)
+	bMean := columnMeans(benign, dim)
+	type cand struct {
+		idx   int
+		delta float64
+	}
+	cands := make([]cand, dim)
+	for i := 0; i < dim; i++ {
+		cands[i] = cand{i, math.Abs(mMean[i] - bMean[i])}
+	}
+	// Selection sort of the top k: dim is small (≤ isa.NumOps).
+	if k > dim {
+		k = dim
+	}
+	out := make([]int, 0, k)
+	for len(out) < k {
+		best := -1
+		for i, c := range cands {
+			if c.idx < 0 {
+				continue
+			}
+			if best < 0 || c.delta > cands[best].delta {
+				best = i
+			}
+		}
+		out = append(out, cands[best].idx)
+		cands[best].idx = -1
+	}
+	return out
+}
+
+func columnMeans(rows [][]float64, dim int) []float64 {
+	m := make([]float64, dim)
+	for _, r := range rows {
+		for i := 0; i < dim && i < len(r); i++ {
+			m[i] += r[i]
+		}
+	}
+	for i := range m {
+		m[i] /= float64(len(rows))
+	}
+	return m
+}
+
+// Project returns the rows restricted to the selected column indices.
+func Project(rows [][]float64, idx []int) [][]float64 {
+	out := make([][]float64, len(rows))
+	for r, row := range rows {
+		v := make([]float64, len(idx))
+		for i, c := range idx {
+			v[i] = row[c]
+		}
+		out[r] = v
+	}
+	return out
+}
+
+// ProjectRow restricts a single vector to the selected columns.
+func ProjectRow(row []float64, idx []int) []float64 {
+	v := make([]float64, len(idx))
+	for i, c := range idx {
+		v[i] = row[c]
+	}
+	return v
+}

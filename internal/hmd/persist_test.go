@@ -1,0 +1,56 @@
+package hmd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rhmd/internal/features"
+)
+
+func TestDetectorSaveLoadRoundTrip(t *testing.T) {
+	_, mw := env(t)
+	for _, algo := range []string{"lr", "nn", "dt", "svm", "rf"} {
+		for _, kind := range []features.Kind{features.Instructions, features.Memory} {
+			spec := Spec{Kind: kind, Period: 2000, Algo: algo}
+			d, err := Train(spec, mw.Get(kind), 1)
+			if err != nil {
+				t.Fatalf("%s: %v", spec, err)
+			}
+			var buf bytes.Buffer
+			if err := Save(&buf, d); err != nil {
+				t.Fatalf("%s save: %v", spec, err)
+			}
+			got, err := Load(&buf)
+			if err != nil {
+				t.Fatalf("%s load: %v", spec, err)
+			}
+			if got.Spec != d.Spec || got.Threshold != d.Threshold {
+				t.Fatalf("%s metadata changed: %+v vs %+v", spec, got.Spec, d.Spec)
+			}
+			// Scores must be bit-identical after the round trip.
+			for i := 0; i < 40; i++ {
+				x := mw.Get(kind).X[i]
+				if got.ScoreWindow(x) != d.ScoreWindow(x) {
+					t.Fatalf("%s scores diverge after round trip", spec)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadRejectsCorruptPayloads(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"kind":"bogus","period":100,"algo":"lr"}`,
+		`{"kind":"memory","period":0,"algo":"lr"}`,
+		`{"kind":"memory","period":100,"algo":"nope"}`,
+		`{"kind":"memory","period":100,"algo":"lr","model":{"algo":"lr","model":{"W":[1]}},"scaler":{"Mean":[0,0],"Std":[1,1]}}`,                // scaler/model dim mismatch
+		`{"kind":"memory","period":100,"algo":"lr","featureIdx":[999],"model":{"algo":"lr","model":{"W":[1]}},"scaler":{"Mean":[0],"Std":[1]}}`, // bad index
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d: corrupt payload accepted", i)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package hwcost
+
+import (
+	"math"
+	"testing"
+
+	"rhmd/internal/features"
+	"rhmd/internal/hmd"
+)
+
+func TestPaperConfigMatchesReportedOverheads(t *testing.T) {
+	est, err := ForPool(PaperConfig(10_000), AO486())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper §7: +1.72% area, +0.78% power for three detectors. The
+	// analytical model must land in that neighbourhood.
+	if math.Abs(est.AreaOverhead-0.0172) > 0.006 {
+		t.Fatalf("area overhead %.4f, paper reports 0.0172", est.AreaOverhead)
+	}
+	if math.Abs(est.PowerOverhead-0.0078) > 0.004 {
+		t.Fatalf("power overhead %.4f, paper reports 0.0078", est.PowerOverhead)
+	}
+}
+
+func TestSecondPeriodIsCheap(t *testing.T) {
+	// §7: detectors on the same features at another period share
+	// collection and evaluation logic; only weights are added.
+	one, err := ForPool(PaperConfig(10_000), AO486())
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := ForPool(append(PaperConfig(10_000), PaperConfig(5_000)...), AO486())
+	if err != nil {
+		t.Fatal(err)
+	}
+	extraLE := both.LogicElements - one.LogicElements
+	if extraLE > one.LogicElements/8 {
+		t.Fatalf("second period added %d LEs (>12.5%% of %d)", extraLE, one.LogicElements)
+	}
+	if both.RAMBits <= one.RAMBits {
+		t.Fatal("second period should add weight storage")
+	}
+}
+
+func TestSingleDetectorHasNoLFSR(t *testing.T) {
+	est, err := ForPool([]hmd.Spec{{Kind: features.Instructions, Period: 10_000, Algo: "lr"}}, AO486())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := est.Breakdown["switch-lfsr"]; ok {
+		t.Fatal("single detector should not pay for switching")
+	}
+	pool, _ := ForPool(PaperConfig(10_000), AO486())
+	if _, ok := pool.Breakdown["switch-lfsr"]; !ok {
+		t.Fatal("RHMD pool must include the switching LFSR")
+	}
+}
+
+func TestCollectionSharedAcrossDetectorsOfSameKind(t *testing.T) {
+	a, _ := ForPool([]hmd.Spec{{Kind: features.Memory, Period: 10_000, Algo: "lr"}}, AO486())
+	b, _ := ForPool([]hmd.Spec{
+		{Kind: features.Memory, Period: 10_000, Algo: "lr"},
+		{Kind: features.Memory, Period: 5_000, Algo: "lr"},
+	}, AO486())
+	if b.Breakdown["collect-memory"] != a.Breakdown["collect-memory"] {
+		t.Fatal("collection logic not shared across periods")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := ForPool(nil, AO486()); err == nil {
+		t.Fatal("empty specs accepted")
+	}
+	if _, err := ForPool(PaperConfig(10_000), CoreBudget{}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	nn := []hmd.Spec{{Kind: features.Instructions, Period: 10_000, Algo: "nn"}}
+	if _, err := ForPool(nn, AO486()); err == nil {
+		t.Fatal("non-linear detector accepted by hardware model")
+	}
+}
+
+func TestTopKControlsWeightStorage(t *testing.T) {
+	small, _ := ForPool([]hmd.Spec{{Kind: features.Instructions, Period: 10_000, Algo: "lr", TopK: 8}}, AO486())
+	big, _ := ForPool([]hmd.Spec{{Kind: features.Instructions, Period: 10_000, Algo: "lr", TopK: 32}}, AO486())
+	if big.RAMBits <= small.RAMBits {
+		t.Fatal("weight storage should scale with TopK")
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	est, _ := ForPool(PaperConfig(10_000), AO486())
+	if est.String() == "" || len(est.ComponentNames()) < 4 {
+		t.Fatal("estimate rendering broken")
+	}
+}

@@ -1,0 +1,128 @@
+package ml
+
+import (
+	"fmt"
+
+	"rhmd/internal/rng"
+)
+
+// RandomForest trains a bagged ensemble of CART trees with per-tree
+// bootstrap sampling and per-split feature subsampling. The paper names
+// random forests as the archetypal "single high-complexity,
+// high-accuracy classifier" a defender might deploy instead of an RHMD
+// (§8.2) — and Theorem 1 implies it is still efficiently
+// reverse-engineerable because it is deterministic. It is included so
+// that claim can be tested.
+type RandomForest struct {
+	// Trees is the ensemble size (default 30).
+	Trees int
+	// MaxDepth bounds each tree (default 10).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 3).
+	MinLeaf int
+	// FeatureFrac is the fraction of features each tree sees (default
+	// ~sqrt heuristic: 0 means min(1, 3/sqrt(dim)·dim... simply 0.5)).
+	FeatureFrac float64
+}
+
+// Name implements Trainer.
+func (RandomForest) Name() string { return "rf" }
+
+// ForestModel is a trained random forest; Score averages the member
+// trees' leaf probabilities.
+type ForestModel struct {
+	trees []*TreeModel
+	// featIdx[t] is the feature subset tree t was trained on.
+	featIdx [][]int
+	dim     int
+}
+
+// Dim implements Model.
+func (m *ForestModel) Dim() int { return m.dim }
+
+// Trees returns the ensemble size.
+func (m *ForestModel) Trees() int { return len(m.trees) }
+
+// Score implements Model.
+func (m *ForestModel) Score(x []float64) float64 {
+	if len(m.trees) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for t, tree := range m.trees {
+		sub := make([]float64, len(m.featIdx[t]))
+		for i, j := range m.featIdx[t] {
+			sub[i] = x[j]
+		}
+		sum += tree.Score(sub)
+	}
+	return sum / float64(len(m.trees))
+}
+
+// Train implements Trainer.
+func (t RandomForest) Train(X [][]float64, y []int, seed uint64) (Model, error) {
+	dim, err := validate(X, y)
+	if err != nil {
+		return nil, err
+	}
+	nTrees := t.Trees
+	if nTrees <= 0 {
+		nTrees = 30
+	}
+	maxDepth := t.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 10
+	}
+	minLeaf := t.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 3
+	}
+	frac := t.FeatureFrac
+	if frac <= 0 || frac > 1 {
+		frac = 0.5
+	}
+	featPerTree := int(frac * float64(dim))
+	if featPerTree < 1 {
+		featPerTree = 1
+	}
+
+	r := rng.NewKeyed(seed, "rf")
+	m := &ForestModel{dim: dim}
+	n := len(X)
+	for ti := 0; ti < nTrees; ti++ {
+		// Feature subset for this tree.
+		perm := r.Perm(dim)
+		feats := append([]int(nil), perm[:featPerTree]...)
+
+		// Bootstrap sample; retry a few times if it comes out
+		// single-class (possible on skewed data).
+		var bx [][]float64
+		var by []int
+		for attempt := 0; attempt < 8; attempt++ {
+			bx = bx[:0]
+			by = by[:0]
+			pos := 0
+			for k := 0; k < n; k++ {
+				i := r.Intn(n)
+				row := make([]float64, featPerTree)
+				for fi, j := range feats {
+					row[fi] = X[i][j]
+				}
+				bx = append(bx, row)
+				by = append(by, y[i])
+				pos += y[i]
+			}
+			if pos > 0 && pos < n {
+				break
+			}
+		}
+
+		tree, err := (DecisionTree{MaxDepth: maxDepth, MinLeaf: minLeaf}).Train(bx, by, r.Uint64())
+		if err != nil {
+			return nil, fmt.Errorf("ml: forest tree %d: %w", ti, err)
+		}
+		m.trees = append(m.trees, tree.(*TreeModel))
+		m.featIdx = append(m.featIdx, feats)
+	}
+	return m, nil
+}

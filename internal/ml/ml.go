@@ -1,0 +1,99 @@
+// Package ml is a from-scratch, stdlib-only machine-learning library
+// implementing every classifier the paper uses: logistic regression (the
+// paper's hardware-friendly baseline), a multi-layer perceptron with one
+// tanh hidden layer (the paper's NN, §4: "a single hidden layer that has
+// a number of neurons equal to the number of features ... tanh ...
+// activation"), a CART decision tree and a linear SVM (the paper's
+// reverse-engineering learners, §4.1), plus standardization, stratified
+// splitting and ROC/AUC metrics.
+//
+// All training is deterministic given an explicit seed.
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a trained binary classifier. Score returns a probability-like
+// value in [0, 1] for the positive (malware) class; callers threshold it.
+type Model interface {
+	Score(x []float64) float64
+	Dim() int
+}
+
+// Trainer fits a Model to a labelled dataset. Labels are 0 (benign) and
+// 1 (malware).
+type Trainer interface {
+	Train(X [][]float64, y []int, seed uint64) (Model, error)
+	Name() string
+}
+
+// validate checks dataset shape; every trainer calls it first.
+func validate(X [][]float64, y []int) (dim int, err error) {
+	if len(X) == 0 {
+		return 0, fmt.Errorf("ml: empty training set")
+	}
+	if len(X) != len(y) {
+		return 0, fmt.Errorf("ml: %d rows but %d labels", len(X), len(y))
+	}
+	dim = len(X[0])
+	if dim == 0 {
+		return 0, fmt.Errorf("ml: zero-dimensional rows")
+	}
+	pos, neg := 0, 0
+	for i, row := range X {
+		if len(row) != dim {
+			return 0, fmt.Errorf("ml: row %d has dim %d, want %d", i, len(row), dim)
+		}
+		switch y[i] {
+		case 0:
+			neg++
+		case 1:
+			pos++
+		default:
+			return 0, fmt.Errorf("ml: label %d at row %d; want 0 or 1", y[i], i)
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0, fmt.Errorf("ml: training set needs both classes (pos=%d neg=%d)", pos, neg)
+	}
+	return dim, nil
+}
+
+// sigmoid is the logistic function with guarded tails.
+func sigmoid(z float64) float64 {
+	switch {
+	case z > 36:
+		return 1
+	case z < -36:
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// dot computes the inner product of equal-length vectors.
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Predict thresholds a model score.
+func Predict(m Model, x []float64, threshold float64) int {
+	if m.Score(x) >= threshold {
+		return 1
+	}
+	return 0
+}
+
+// Scores evaluates a model over a matrix.
+func Scores(m Model, X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.Score(x)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package ml
+
+import (
+	"fmt"
+
+	"rhmd/internal/rng"
+)
+
+// StratifiedSplit partitions indices 0..n-1 into len(fractions) groups,
+// preserving the class balance of y within each group (the paper splits
+// each class "60% victim training, 20% attacker training ..., and 20%
+// attacker testing" with per-type stratification, §3). Fractions must sum
+// to ~1.
+func StratifiedSplit(y []int, fractions []float64, seed uint64) ([][]int, error) {
+	if len(y) == 0 {
+		return nil, fmt.Errorf("ml: empty label vector")
+	}
+	if len(fractions) == 0 {
+		return nil, fmt.Errorf("ml: no fractions")
+	}
+	sum := 0.0
+	for _, f := range fractions {
+		if f <= 0 {
+			return nil, fmt.Errorf("ml: non-positive fraction %v", f)
+		}
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return nil, fmt.Errorf("ml: fractions sum to %v, want 1", sum)
+	}
+
+	r := rng.NewKeyed(seed, "split")
+	byClass := map[int][]int{}
+	for i, label := range y {
+		byClass[label] = append(byClass[label], i)
+	}
+	out := make([][]int, len(fractions))
+	for _, label := range []int{0, 1} {
+		idx := byClass[label]
+		if len(idx) == 0 {
+			continue
+		}
+		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		start := 0
+		for g, f := range fractions {
+			var count int
+			if g == len(fractions)-1 {
+				count = len(idx) - start
+			} else {
+				count = int(f*float64(len(idx)) + 0.5)
+				if start+count > len(idx) {
+					count = len(idx) - start
+				}
+			}
+			out[g] = append(out[g], idx[start:start+count]...)
+			start += count
+		}
+	}
+	return out, nil
+}
+
+// Gather selects rows and labels by index.
+func Gather(X [][]float64, y []int, idx []int) ([][]float64, []int) {
+	gx := make([][]float64, len(idx))
+	gy := make([]int, len(idx))
+	for k, i := range idx {
+		gx[k] = X[i]
+		gy[k] = y[i]
+	}
+	return gx, gy
+}

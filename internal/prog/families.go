@@ -1,0 +1,286 @@
+package prog
+
+import "rhmd/internal/isa"
+
+// This file defines the corpus family library: the synthetic analogue of
+// the paper's program population. Benign families model the application
+// categories listed in §3 (browsers, text editors, system programs, SPEC
+// 2006 compute, popular tools such as Acrobat/Notepad++/WinRAR); malware
+// families model the economically-motivated malware the threat model
+// emphasizes (§2): spam bots, click fraud, scanners/worms, keyloggers,
+// packers/droppers and ransomware-style encryptors.
+//
+// Families are designed to overlap: e.g. the benign archiver is
+// string/store heavy like the spam bot, and the benign compute family is
+// ALU-heavy like the packer. This keeps baseline detector accuracy in the
+// paper's 85–95% band instead of a synthetic-data-trivial 100%.
+
+// BenignFamilies returns the benign profile set.
+func BenignFamilies() []*Profile {
+	return []*Profile{
+		{
+			Family: "browser",
+			ClassWeights: map[isa.Class]float64{
+				isa.ClassALU: 0.29, isa.ClassMove: 0.16, isa.ClassLoad: 0.22,
+				isa.ClassStore: 0.11, isa.ClassStack: 0.09, isa.ClassFP: 0.04,
+				isa.ClassString: 0.03, isa.ClassSystem: 0.02, isa.ClassNop: 0.04,
+			},
+			OpTilt:        map[isa.Op]float64{isa.CMP: 1.6, isa.TEST: 1.5, isa.MOVZX: 1.4},
+			Concentration: 110,
+			BlockLenMean:  7.5, BlockLenSigma: 0.5,
+			FuncsMin: 5, FuncsMax: 12, BlocksMin: 6, BlocksMax: 18,
+			BranchFrac: 0.39, JumpFrac: 0.10, CallFrac: 0.16,
+			LoopFrac: 0.07, LoopIterMean: 45,
+			LoopBackProb: 0.38, TakenMean: 0.56, TakenSpread: 0.16,
+			MemWeights: map[MemPattern]float64{
+				MemSeq8: 0.25, MemSeq64: 0.10, MemRandSmall: 0.30,
+				MemRandLarge: 0.20, MemChase: 0.15,
+			},
+			UnalignedFrac: 0.035, WSSmall: 1 << 14, WSLarge: 1 << 22,
+		},
+		{
+			Family: "editor",
+			ClassWeights: map[isa.Class]float64{
+				isa.ClassALU: 0.27, isa.ClassMove: 0.19, isa.ClassLoad: 0.20,
+				isa.ClassStore: 0.10, isa.ClassStack: 0.11, isa.ClassFP: 0.01,
+				isa.ClassString: 0.07, isa.ClassSystem: 0.02, isa.ClassNop: 0.03,
+			},
+			OpTilt:        map[isa.Op]float64{isa.CMP: 1.8, isa.MOVSB: 1.4, isa.SETCC: 1.3},
+			Concentration: 110,
+			BlockLenMean:  6.5, BlockLenSigma: 0.45,
+			FuncsMin: 4, FuncsMax: 10, BlocksMin: 5, BlocksMax: 16,
+			BranchFrac: 0.43, JumpFrac: 0.08, CallFrac: 0.14,
+			LoopFrac: 0.07, LoopIterMean: 40,
+			LoopBackProb: 0.42, TakenMean: 0.60, TakenSpread: 0.14,
+			MemWeights: map[MemPattern]float64{
+				MemSeq1: 0.20, MemSeq8: 0.25, MemRandSmall: 0.35, MemChase: 0.12,
+				MemRandLarge: 0.08,
+			},
+			UnalignedFrac: 0.05, WSSmall: 1 << 13, WSLarge: 1 << 20,
+		},
+		{
+			Family: "compute", // SPEC 2006-like kernels
+			ClassWeights: map[isa.Class]float64{
+				isa.ClassALU: 0.40, isa.ClassMove: 0.11, isa.ClassLoad: 0.22,
+				isa.ClassStore: 0.09, isa.ClassStack: 0.03, isa.ClassFP: 0.12,
+				isa.ClassString: 0.005, isa.ClassSystem: 0.002, isa.ClassNop: 0.01,
+			},
+			OpTilt: map[isa.Op]float64{
+				isa.IMUL: 2.2, isa.FMUL: 1.8, isa.FADD: 1.8, isa.LEA: 1.6, isa.ADD: 1.5,
+			},
+			Concentration: 140,
+			BlockLenMean:  11, BlockLenSigma: 0.5,
+			FuncsMin: 2, FuncsMax: 6, BlocksMin: 4, BlocksMax: 12,
+			BranchFrac: 0.25, JumpFrac: 0.06, CallFrac: 0.08,
+			LoopFrac: 0.15, LoopIterMean: 175,
+			LoopBackProb: 0.62, TakenMean: 0.78, TakenSpread: 0.10,
+			MemWeights: map[MemPattern]float64{
+				MemSeq8: 0.45, MemSeq64: 0.25, MemRandSmall: 0.15, MemRandLarge: 0.10,
+				MemChase: 0.05,
+			},
+			UnalignedFrac: 0.008, WSSmall: 1 << 15, WSLarge: 1 << 24,
+		},
+		{
+			Family: "systool",
+			ClassWeights: map[isa.Class]float64{
+				isa.ClassALU: 0.25, isa.ClassMove: 0.15, isa.ClassLoad: 0.19,
+				isa.ClassStore: 0.12, isa.ClassStack: 0.10, isa.ClassFP: 0.005,
+				isa.ClassString: 0.06, isa.ClassSystem: 0.045, isa.ClassNop: 0.04,
+			},
+			OpTilt:        map[isa.Op]float64{isa.SYSCALL: 1.6, isa.TEST: 1.4, isa.LODSB: 1.3},
+			Concentration: 100,
+			BlockLenMean:  6, BlockLenSigma: 0.45,
+			FuncsMin: 4, FuncsMax: 9, BlocksMin: 5, BlocksMax: 14,
+			BranchFrac: 0.41, JumpFrac: 0.09, CallFrac: 0.15,
+			LoopFrac: 0.07, LoopIterMean: 40,
+			LoopBackProb: 0.40, TakenMean: 0.58, TakenSpread: 0.15,
+			MemWeights: map[MemPattern]float64{
+				MemSeq1: 0.15, MemSeq8: 0.25, MemRandSmall: 0.35, MemChase: 0.15,
+				MemRandLarge: 0.10,
+			},
+			UnalignedFrac: 0.04, WSSmall: 1 << 13, WSLarge: 1 << 21,
+		},
+		{
+			Family: "archiver", // WinRAR-like: string/store heavy, overlaps spam bots
+			ClassWeights: map[isa.Class]float64{
+				isa.ClassALU: 0.31, isa.ClassMove: 0.10, isa.ClassLoad: 0.21,
+				isa.ClassStore: 0.15, isa.ClassStack: 0.04, isa.ClassFP: 0.005,
+				isa.ClassString: 0.12, isa.ClassSystem: 0.012, isa.ClassNop: 0.02,
+			},
+			OpTilt: map[isa.Op]float64{
+				isa.SHR: 1.8, isa.SHL: 1.6, isa.AND: 1.6, isa.MOVSB: 1.8, isa.STOSB: 1.6,
+			},
+			Concentration: 120,
+			BlockLenMean:  9, BlockLenSigma: 0.5,
+			FuncsMin: 3, FuncsMax: 7, BlocksMin: 5, BlocksMax: 13,
+			BranchFrac: 0.30, JumpFrac: 0.07, CallFrac: 0.10,
+			LoopFrac: 0.14, LoopIterMean: 120,
+			LoopBackProb: 0.55, TakenMean: 0.72, TakenSpread: 0.12,
+			MemWeights: map[MemPattern]float64{
+				MemSeq1: 0.40, MemSeq8: 0.25, MemSeq64: 0.10, MemRandSmall: 0.20,
+				MemRandLarge: 0.05,
+			},
+			UnalignedFrac: 0.06, WSSmall: 1 << 16, WSLarge: 1 << 23,
+		},
+		{
+			Family: "mediaplayer", // Acrobat/player-like: FP + large streaming
+			ClassWeights: map[isa.Class]float64{
+				isa.ClassALU: 0.27, isa.ClassMove: 0.12, isa.ClassLoad: 0.24,
+				isa.ClassStore: 0.13, isa.ClassStack: 0.05, isa.ClassFP: 0.13,
+				isa.ClassString: 0.02, isa.ClassSystem: 0.015, isa.ClassNop: 0.025,
+			},
+			OpTilt:        map[isa.Op]float64{isa.FMOVLD: 1.7, isa.FMOVST: 1.5, isa.FMUL: 1.5},
+			Concentration: 120,
+			BlockLenMean:  10, BlockLenSigma: 0.5,
+			FuncsMin: 4, FuncsMax: 9, BlocksMin: 5, BlocksMax: 14,
+			BranchFrac: 0.30, JumpFrac: 0.08, CallFrac: 0.12,
+			LoopFrac: 0.12, LoopIterMean: 100,
+			LoopBackProb: 0.55, TakenMean: 0.70, TakenSpread: 0.12,
+			MemWeights: map[MemPattern]float64{
+				MemSeq8: 0.30, MemSeq64: 0.30, MemRandSmall: 0.15, MemRandLarge: 0.15,
+				MemChase: 0.10,
+			},
+			UnalignedFrac: 0.02, WSSmall: 1 << 15, WSLarge: 1 << 24,
+		},
+	}
+}
+
+// MalwareFamilies returns the malware profile set.
+func MalwareFamilies() []*Profile {
+	return []*Profile{
+		{
+			Family: "spambot", Malware: true,
+			ClassWeights: map[isa.Class]float64{
+				isa.ClassALU: 0.24, isa.ClassMove: 0.12, isa.ClassLoad: 0.18,
+				isa.ClassStore: 0.16, isa.ClassStack: 0.06, isa.ClassFP: 0.003,
+				isa.ClassString: 0.10, isa.ClassSystem: 0.075, isa.ClassNop: 0.04,
+			},
+			OpTilt: map[isa.Op]float64{
+				isa.STOSB: 2.0, isa.MOVSB: 1.6, isa.SYSCALL: 2.0, isa.OR: 1.4,
+			},
+			Concentration: 90,
+			BlockLenMean:  6, BlockLenSigma: 0.5,
+			FuncsMin: 3, FuncsMax: 8, BlocksMin: 4, BlocksMax: 12,
+			BranchFrac: 0.36, JumpFrac: 0.10, CallFrac: 0.14,
+			LoopFrac: 0.09, LoopIterMean: 70,
+			LoopBackProb: 0.50, TakenMean: 0.66, TakenSpread: 0.14,
+			MemWeights: map[MemPattern]float64{
+				MemSeq1: 0.35, MemSeq8: 0.20, MemRandSmall: 0.25, MemRandLarge: 0.15,
+				MemChase: 0.05,
+			},
+			UnalignedFrac: 0.09, WSSmall: 1 << 13, WSLarge: 1 << 21,
+		},
+		{
+			Family: "clickfraud", Malware: true,
+			ClassWeights: map[isa.Class]float64{
+				isa.ClassALU: 0.22, isa.ClassMove: 0.14, isa.ClassLoad: 0.22,
+				isa.ClassStore: 0.12, isa.ClassStack: 0.07, isa.ClassFP: 0.005,
+				isa.ClassString: 0.05, isa.ClassSystem: 0.085, isa.ClassNop: 0.07,
+			},
+			OpTilt: map[isa.Op]float64{
+				isa.SYSCALL: 1.8, isa.RDTSC: 2.4, isa.CMP: 1.5, isa.PAUSE: 2.0,
+			},
+			Concentration: 90,
+			BlockLenMean:  5.5, BlockLenSigma: 0.45,
+			FuncsMin: 3, FuncsMax: 8, BlocksMin: 4, BlocksMax: 11,
+			BranchFrac: 0.46, JumpFrac: 0.08, CallFrac: 0.13,
+			LoopFrac: 0.06, LoopIterMean: 40,
+			LoopBackProb: 0.45, TakenMean: 0.52, TakenSpread: 0.18,
+			MemWeights: map[MemPattern]float64{
+				MemSeq8: 0.20, MemRandSmall: 0.40, MemRandLarge: 0.25, MemChase: 0.15,
+			},
+			UnalignedFrac: 0.07, WSSmall: 1 << 12, WSLarge: 1 << 22,
+		},
+		{
+			Family: "scanner", Malware: true, // network worm / port scanner
+			ClassWeights: map[isa.Class]float64{
+				isa.ClassALU: 0.23, isa.ClassMove: 0.13, isa.ClassLoad: 0.20,
+				isa.ClassStore: 0.10, isa.ClassStack: 0.07, isa.ClassFP: 0.002,
+				isa.ClassString: 0.09, isa.ClassSystem: 0.088, isa.ClassNop: 0.05,
+			},
+			OpTilt: map[isa.Op]float64{
+				isa.SCASB: 2.4, isa.CMPSB: 2.0, isa.SYSCALL: 2.0, isa.INT: 1.8, isa.INC: 1.8,
+			},
+			Concentration: 85,
+			BlockLenMean:  5, BlockLenSigma: 0.45,
+			FuncsMin: 2, FuncsMax: 6, BlocksMin: 4, BlocksMax: 10,
+			BranchFrac: 0.44, JumpFrac: 0.07, CallFrac: 0.12,
+			LoopFrac: 0.11, LoopIterMean: 80,
+			LoopBackProb: 0.58, TakenMean: 0.74, TakenSpread: 0.12,
+			MemWeights: map[MemPattern]float64{
+				MemSeq1: 0.25, MemRandSmall: 0.20, MemRandLarge: 0.40, MemChase: 0.15,
+			},
+			UnalignedFrac: 0.11, WSSmall: 1 << 12, WSLarge: 1 << 23,
+		},
+		{
+			Family: "keylogger", Malware: true,
+			ClassWeights: map[isa.Class]float64{
+				isa.ClassALU: 0.20, isa.ClassMove: 0.20, isa.ClassLoad: 0.18,
+				isa.ClassStore: 0.11, isa.ClassStack: 0.08, isa.ClassFP: 0.002,
+				isa.ClassString: 0.04, isa.ClassSystem: 0.098, isa.ClassNop: 0.09,
+			},
+			OpTilt: map[isa.Op]float64{
+				isa.INT: 2.6, isa.SYSCALL: 1.8, isa.PAUSE: 2.2, isa.TEST: 1.6, isa.SETCC: 1.5,
+			},
+			Concentration: 85,
+			BlockLenMean:  4.5, BlockLenSigma: 0.4,
+			FuncsMin: 2, FuncsMax: 6, BlocksMin: 4, BlocksMax: 10,
+			BranchFrac: 0.50, JumpFrac: 0.09, CallFrac: 0.12,
+			LoopFrac: 0.05, LoopIterMean: 40,
+			LoopBackProb: 0.48, TakenMean: 0.45, TakenSpread: 0.16,
+			MemWeights: map[MemPattern]float64{
+				MemSeq8: 0.20, MemRandSmall: 0.45, MemChase: 0.20, MemRandLarge: 0.15,
+			},
+			UnalignedFrac: 0.08, WSSmall: 1 << 11, WSLarge: 1 << 19,
+		},
+		{
+			Family: "packer", Malware: true, // self-decrypting dropper
+			ClassWeights: map[isa.Class]float64{
+				isa.ClassALU: 0.42, isa.ClassMove: 0.08, isa.ClassLoad: 0.20,
+				isa.ClassStore: 0.15, isa.ClassStack: 0.03, isa.ClassFP: 0.002,
+				isa.ClassString: 0.05, isa.ClassSystem: 0.028, isa.ClassNop: 0.04,
+			},
+			OpTilt: map[isa.Op]float64{
+				isa.XOR: 3.0, isa.ROL: 2.6, isa.NOT: 2.0, isa.ADC: 1.8, isa.SBB: 1.6,
+			},
+			Concentration: 95,
+			BlockLenMean:  8, BlockLenSigma: 0.5,
+			FuncsMin: 2, FuncsMax: 5, BlocksMin: 4, BlocksMax: 10,
+			BranchFrac: 0.27, JumpFrac: 0.10, CallFrac: 0.08,
+			LoopFrac: 0.15, LoopIterMean: 130,
+			LoopBackProb: 0.62, TakenMean: 0.80, TakenSpread: 0.10,
+			MemWeights: map[MemPattern]float64{
+				MemSeq1: 0.35, MemSeq8: 0.30, MemRandSmall: 0.20, MemRandLarge: 0.10,
+				MemChase: 0.05,
+			},
+			UnalignedFrac: 0.13, WSSmall: 1 << 14, WSLarge: 1 << 22,
+		},
+		{
+			Family: "ransom", Malware: true, // bulk-encrypting ransomware
+			ClassWeights: map[isa.Class]float64{
+				isa.ClassALU: 0.36, isa.ClassMove: 0.09, isa.ClassLoad: 0.21,
+				isa.ClassStore: 0.17, isa.ClassStack: 0.04, isa.ClassFP: 0.005,
+				isa.ClassString: 0.06, isa.ClassSystem: 0.045, isa.ClassNop: 0.02,
+			},
+			OpTilt: map[isa.Op]float64{
+				isa.XOR: 2.4, isa.SHL: 1.8, isa.SHR: 1.8, isa.MUL: 1.8, isa.SYSCALL: 1.5,
+			},
+			Concentration: 95,
+			BlockLenMean:  9, BlockLenSigma: 0.5,
+			FuncsMin: 2, FuncsMax: 6, BlocksMin: 4, BlocksMax: 11,
+			BranchFrac: 0.26, JumpFrac: 0.08, CallFrac: 0.10,
+			LoopFrac: 0.14, LoopIterMean: 140,
+			LoopBackProb: 0.60, TakenMean: 0.76, TakenSpread: 0.10,
+			MemWeights: map[MemPattern]float64{
+				MemSeq1: 0.30, MemSeq64: 0.25, MemSeq8: 0.20, MemRandLarge: 0.20,
+				MemChase: 0.05,
+			},
+			UnalignedFrac: 0.10, WSSmall: 1 << 14, WSLarge: 1 << 24,
+		},
+	}
+}
+
+// AllFamilies returns benign and malware families combined.
+func AllFamilies() []*Profile {
+	return append(BenignFamilies(), MalwareFamilies()...)
+}
