@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all vet build test race fuzz check clean
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzzing pass over the persistence layer; CI runs the seed corpus
+# via plain `go test`, this target digs deeper locally.
+fuzz:
+	$(GO) test -run FuzzLoadRHMD -fuzz FuzzLoadRHMD -fuzztime 30s ./internal/core/
+
+check: vet build race
+
+clean:
+	$(GO) clean ./...

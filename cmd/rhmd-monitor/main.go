@@ -1,0 +1,209 @@
+// Command rhmd-monitor runs the online monitoring engine: it trains an
+// RHMD pool, streams a generated corpus through internal/monitor under
+// optionally injected faults, and prints a survival report — per-
+// detector health, quarantine/restore activity, and end-to-end window
+// accounting.
+//
+// Usage:
+//
+//	rhmd-monitor                                    # healthy pool
+//	rhmd-monitor -inject 1:error,4:panic,4:latency  # two faulty detectors
+//	rhmd-monitor -inject 4:panic -until 4:30        # detector 4 recovers
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rhmd/internal/core"
+	"rhmd/internal/dataset"
+	"rhmd/internal/features"
+	"rhmd/internal/monitor"
+	"rhmd/internal/prog"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "corpus/training/fault seed")
+	benign := flag.Int("benign", 10, "benign programs per family")
+	malware := flag.Int("malware", 16, "malware programs per family")
+	traceLen := flag.Int("len", 80_000, "trace length per program")
+	periods := flag.String("periods", "2000,1000", "comma-separated collection periods (pool = 3 features × periods)")
+	workers := flag.Int("workers", 4, "concurrent classification workers")
+	queue := flag.Int("queue", 0, "submission queue depth (0 = 2×workers); overflow is shed")
+	deadline := flag.Duration("deadline", 25*time.Millisecond, "per-window classification deadline")
+	probeAfter := flag.Int("probe-after", 64, "windows of quarantine before a half-open probe")
+	inject := flag.String("inject", "", "faults as det:mode pairs, e.g. 1:error,4:panic,4:latency (modes: error, panic, latency, corrupt)")
+	until := flag.String("until", "", "recovery points as det:N pairs, e.g. 4:30 (detector heals after N faulted windows)")
+	rate := flag.Float64("rate", 1.0, "total fault rate per faulty detector, split across its modes")
+	verbose := flag.Bool("v", false, "print one line per monitored program")
+	flag.Parse()
+
+	ps, err := parsePeriods(*periods)
+	check(err)
+
+	cfg := dataset.Config{BenignPerFamily: *benign, MalwarePerFamily: *malware, TraceLen: *traceLen, Seed: *seed}
+	corpus, err := dataset.Build(cfg)
+	check(err)
+	groups, err := corpus.Split([]float64{0.7, 0.3}, *seed+1)
+	check(err)
+	train, stream := groups[0], groups[1]
+
+	data := map[int]*dataset.MultiWindowData{}
+	for _, p := range ps {
+		mw, err := dataset.ExtractWindows(train, p, *traceLen)
+		check(err)
+		data[p] = mw
+	}
+	specs := core.PoolSpecs(features.AllKinds(), ps, "lr")
+	pool, err := core.TrainPool(specs, data, *seed+2)
+	check(err)
+	r, err := core.New(pool, *seed+3)
+	check(err)
+	fmt.Printf("deployed %s\n", r)
+
+	injector, err := parseInjector(*inject, *until, *rate, *deadline, *seed, len(pool))
+	check(err)
+
+	e, err := monitor.New(r, monitor.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		TraceLen:       *traceLen,
+		WindowDeadline: *deadline,
+		ProbeAfter:     *probeAfter,
+		Injector:       injector,
+	})
+	check(err)
+
+	start := time.Now()
+	e.Start(context.Background())
+	go func() {
+		for _, p := range stream {
+			for !e.Submit(p) {
+				// Backpressure: the monitor shed this submission; a real
+				// host would drop or defer, the demo politely retries.
+				time.Sleep(time.Millisecond)
+			}
+		}
+		e.Close()
+	}()
+
+	correct, total := 0, 0
+	for rep := range e.Results() {
+		if rep.Err != nil {
+			fmt.Printf("  %-18s ERROR: %v\n", rep.Program, rep.Err)
+			continue
+		}
+		total++
+		if rep.Malware == (rep.Label == prog.Malware) {
+			correct++
+		}
+		if *verbose {
+			verdict := "benign "
+			if rep.Malware {
+				verdict = "MALWARE"
+			}
+			fmt.Printf("  %-18s %s  %3d/%3d windows flagged, %d degraded, %d dropped\n",
+				rep.Program, verdict, rep.Flagged, rep.Windows, rep.Degraded, rep.Dropped)
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("\nsurvival report (%d programs in %v)\n", total, elapsed.Round(time.Millisecond))
+	fmt.Print(e.Stats())
+	if total > 0 {
+		fmt.Printf("verdict accuracy: %.1f%% (%d/%d)\n", 100*float64(correct)/float64(total), correct, total)
+	}
+}
+
+func parsePeriods(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad period %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseInjector assembles per-detector fault profiles from the -inject,
+// -until and -rate flags. Each detector's rate is split evenly across
+// its listed modes.
+func parseInjector(inject, until string, rate float64, deadline time.Duration, seed uint64, poolSize int) (monitor.FaultInjector, error) {
+	if inject == "" {
+		return nil, nil
+	}
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("-rate %v outside [0,1]", rate)
+	}
+	modes := map[int][]string{}
+	for _, part := range strings.Split(inject, ",") {
+		det, mode, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -inject entry %q (want det:mode)", part)
+		}
+		idx, err := strconv.Atoi(det)
+		if err != nil {
+			return nil, fmt.Errorf("bad detector index in %q: %v", part, err)
+		}
+		if idx < 0 || idx >= poolSize {
+			return nil, fmt.Errorf("-inject detector %d out of range (pool has %d detectors)", idx, poolSize)
+		}
+		modes[idx] = append(modes[idx], mode)
+	}
+	recover := map[int]uint64{}
+	if until != "" {
+		for _, part := range strings.Split(until, ",") {
+			det, n, ok := strings.Cut(strings.TrimSpace(part), ":")
+			if !ok {
+				return nil, fmt.Errorf("bad -until entry %q (want det:N)", part)
+			}
+			idx, err := strconv.Atoi(det)
+			if err != nil {
+				return nil, fmt.Errorf("bad detector index in %q: %v", part, err)
+			}
+			if idx < 0 || idx >= poolSize {
+				return nil, fmt.Errorf("-until detector %d out of range (pool has %d detectors)", idx, poolSize)
+			}
+			v, err := strconv.ParseUint(n, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad recovery point in %q: %v", part, err)
+			}
+			recover[idx] = v
+		}
+	}
+	in := monitor.NewInjector(seed ^ 0xFA17)
+	for idx, ms := range modes {
+		p := monitor.Profile{Latency: 8 * deadline, Until: recover[idx]}
+		share := rate / float64(len(ms))
+		for _, m := range ms {
+			switch m {
+			case "error":
+				p.ErrorRate += share
+			case "panic":
+				p.PanicRate += share
+			case "latency":
+				p.LatencyRate += share
+			case "corrupt":
+				p.CorruptRate += share
+			default:
+				return nil, fmt.Errorf("unknown fault mode %q (want error, panic, latency or corrupt)", m)
+			}
+		}
+		in.SetProfile(idx, p)
+	}
+	return in, nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// detJSON is a structurally valid persisted detector payload for
+// hand-building corrupt RHMD documents without training anything.
+const detJSON = `{"kind":"memory","period":1000,"algo":"lr","featureIdx":[3],` +
+	`"model":{"algo":"lr","model":{"W":[1],"B":0}},"scaler":{"Mean":[0],"Std":[1]},"threshold":0.5}`
+
+func TestLoadRHMDRejectsCorruptPayloads(t *testing.T) {
+	cases := []struct {
+		name, payload string
+	}{
+		{"not json", `not json`},
+		{"empty input", ``},
+		{"truncated object", `{"detectors":[`},
+		{"wrong top-level type", `42`},
+		{"array for object", `[]`},
+		{"empty pool", `{"detectors":[],"probs":[],"key":0}`},
+		{"null detector", `{"detectors":[null],"probs":[1],"key":0}`},
+		{"probs length mismatch", `{"detectors":[` + detJSON + `],"probs":[1,2],"key":0}`},
+		{"negative prob", `{"detectors":[` + detJSON + `,` + detJSON + `],"probs":[1,-1],"key":0}`},
+		{"all-zero probs", `{"detectors":[` + detJSON + `],"probs":[0],"key":0}`},
+		{"overflowing probs", `{"detectors":[` + detJSON + `,` + detJSON + `],"probs":[1.7e308,1.7e308],"key":0}`},
+		{"wrong probs type", `{"detectors":[` + detJSON + `],"probs":"uniform","key":0}`},
+		{"corrupt inner detector", `{"detectors":[{"kind":"bogus"}],"probs":[1],"key":0}`},
+	}
+	for _, c := range cases {
+		if _, err := LoadRHMD(strings.NewReader(c.payload)); err == nil {
+			t.Fatalf("%s: corrupt payload accepted", c.name)
+		}
+	}
+}
+
+// TestLoadRHMDSurvivesMangledValidPool mangles a genuinely trained,
+// serialized RHMD — truncations and byte flips — and requires LoadRHMD
+// to either error cleanly or yield a usable pool, never panic.
+func TestLoadRHMDSurvivesMangledValidPool(t *testing.T) {
+	f := getFixture(t)
+	r, err := New(f.pool, 0xABCD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveRHMD(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for cut := 0; cut < len(valid); cut += 257 {
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("truncation at %d panicked: %v", cut, rec)
+				}
+			}()
+			LoadRHMD(bytes.NewReader(valid[:cut]))
+		}()
+	}
+	for pos := 0; pos < len(valid); pos += 101 {
+		mangled := append([]byte(nil), valid...)
+		mangled[pos] ^= 0x08
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("bit flip at %d panicked: %v", pos, rec)
+				}
+			}()
+			if got, err := LoadRHMD(bytes.NewReader(mangled)); err == nil {
+				// A flip inside a numeric payload can survive decoding;
+				// the result must still be a fully valid pool.
+				if got.Size() != r.Size() || got.cat == nil {
+					t.Fatalf("bit flip at %d produced a half-built RHMD", pos)
+				}
+			}
+		}()
+	}
+}
+
+// FuzzLoadRHMD guards the deserialization path against panics: whatever
+// bytes arrive — malicious model files included — LoadRHMD must return
+// a value or an error, never crash the process.
+func FuzzLoadRHMD(f *testing.F) {
+	f.Add([]byte(`{"detectors":[` + detJSON + `],"probs":[1],"key":7}`))
+	f.Add([]byte(`{"detectors":[null],"probs":[1],"key":0}`))
+	f.Add([]byte(`{"detectors":[],"probs":[],"key":0}`))
+	f.Add([]byte(`{"detectors":[{"kind":"memory","period":1000,"algo":"lr"}],"probs":[0],"key":0}`))
+	f.Add([]byte(`{"probs":[1e999]}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[{}]`))
+	f.Add([]byte(strings.Repeat(`{"detectors":`, 64)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := LoadRHMD(bytes.NewReader(data))
+		if err == nil && (r.Size() == 0 || r.cat == nil) {
+			t.Fatalf("accepted payload produced unusable RHMD: %q", data)
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"rhmd/internal/hmd"
+)
+
+// TestConcurrentReadersShareOnePool loads a single RHMD from its
+// serialized form and hammers it from many goroutines at once.  The RHMD
+// is documented as immutable after construction — every DecideTrace call
+// derives a fresh rng.Source from the program seed, the alias table is
+// read-only, and scoring allocates its own buffers — so concurrent
+// readers must produce bit-identical results to a serial run.  Run with
+// -race: this test is the proof behind the "safe for concurrent readers"
+// claim the online monitoring engine relies on.
+func TestConcurrentReadersShareOnePool(t *testing.T) {
+	f := getFixture(t)
+	orig, err := New(f.pool, 0xD1CE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveRHMD(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	shared, err := LoadRHMD(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	progs := f.atkTest
+	if len(progs) > 8 {
+		progs = progs[:8]
+	}
+
+	// Serial ground truth on the same loaded instance.
+	wantDec := make([][]hmd.WindowDecision, len(progs))
+	wantVerdict := make([]bool, len(progs))
+	for i, p := range progs {
+		wantDec[i], err = shared.DecideTrace(p, f.traceLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantVerdict[i], err = shared.DetectTraced(p, f.traceLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const goroutines = 8
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Stagger start positions so goroutines collide on
+			// different programs at the same instant.
+			for k := 0; k < len(progs); k++ {
+				i := (g + k) % len(progs)
+				dec, err := shared.DecideTrace(progs[i], f.traceLen)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(dec) != len(wantDec[i]) {
+					t.Errorf("goroutine %d prog %d: %d windows, want %d", g, i, len(dec), len(wantDec[i]))
+					return
+				}
+				for w := range dec {
+					if dec[w] != wantDec[i][w] {
+						t.Errorf("goroutine %d prog %d window %d: %+v, want %+v", g, i, w, dec[w], wantDec[i][w])
+						return
+					}
+				}
+				verdict, err := shared.DetectTraced(progs[i], f.traceLen)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if verdict != wantVerdict[i] {
+					t.Errorf("goroutine %d prog %d verdict %v, want %v", g, i, verdict, wantVerdict[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

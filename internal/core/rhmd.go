@@ -22,6 +22,12 @@ import (
 )
 
 // RHMD is a pool of base detectors with a stochastic switching policy.
+//
+// A constructed RHMD is immutable and safe for concurrent readers: the
+// sampler is a fixed alias table, every DecideTrace call derives its own
+// switching stream from Key and the program seed, and trained base
+// detectors are read-only at inference time. Do not mutate Detectors or
+// Probs after construction.
 type RHMD struct {
 	// Detectors is the base pool.
 	Detectors []*hmd.Detector
@@ -91,6 +97,44 @@ func (r *RHMD) String() string {
 // to the attacker (who does not hold Key).
 func (r *RHMD) switcher(p *prog.Program) *rng.Source {
 	return rng.NewKeyed(r.Key^p.Seed, "rhmd-switch")
+}
+
+// SwitchSource exposes the per-program switching stream for serving
+// layers (internal/monitor) that schedule windows themselves instead of
+// going through DecideTrace. Each call returns a fresh source, so
+// concurrent callers never share PRNG state.
+func (r *RHMD) SwitchSource(p *prog.Program) *rng.Source {
+	return r.switcher(p)
+}
+
+// LiveSampler returns a switching sampler renormalized over the subset
+// of detectors with live[i] == true, keeping pool indices stable:
+// quarantined detectors get weight zero and are never drawn, survivors
+// keep their relative weights. Per §7 the randomized detector's accuracy
+// is the (weighted) average of its live base pool, so dropping a faulty
+// member and renormalizing degrades accuracy gracefully instead of
+// taking the whole pool down. It returns an error when no detector is
+// live.
+func (r *RHMD) LiveSampler(live []bool) (*rng.Categorical, error) {
+	if len(live) != len(r.Detectors) {
+		return nil, fmt.Errorf("core: %d live flags for %d detectors", len(live), len(r.Detectors))
+	}
+	w := make([]float64, len(r.Probs))
+	any := false
+	for i, ok := range live {
+		if ok {
+			w[i] = r.Probs[i]
+			any = true
+		}
+	}
+	if !any {
+		return nil, fmt.Errorf("core: no live detectors to renormalize over")
+	}
+	cat, err := rng.NewCategorical(w)
+	if err != nil {
+		return nil, fmt.Errorf("core: renormalizing live pool: %v", err)
+	}
+	return cat, nil
 }
 
 // DecideTrace runs the randomized detector over a program trace: each

@@ -11,6 +11,7 @@ import (
 	"rhmd/internal/features"
 	"rhmd/internal/hmd"
 	"rhmd/internal/prog"
+	"rhmd/internal/rng"
 )
 
 // fixture: corpus, split, per-period window data, and a trained pool.
@@ -72,6 +73,18 @@ func TestNewValidation(t *testing.T) {
 	if _, err := NewWeighted(f.pool, []float64{0, 0, 0}, 1); err == nil {
 		t.Fatal("zero weights accepted")
 	}
+	if _, err := NewWeighted(f.pool, []float64{1, -0.5, 1}, 1); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := NewWeighted(f.pool, []float64{1, math.NaN(), 1}, 1); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+	if _, err := NewWeighted(f.pool, []float64{1, math.Inf(1), 1}, 1); err == nil {
+		t.Fatal("Inf weight accepted")
+	}
+	if _, err := NewWeighted(f.pool, []float64{math.MaxFloat64, math.MaxFloat64, math.MaxFloat64}, 1); err == nil {
+		t.Fatal("overflowing weight sum accepted")
+	}
 	if _, err := New([]*hmd.Detector{nil}, 1); err == nil {
 		t.Fatal("nil detector accepted")
 	}
@@ -85,6 +98,47 @@ func TestNewValidation(t *testing.T) {
 	for _, p := range r.Probs {
 		if math.Abs(p-1.0/3) > 1e-12 {
 			t.Fatalf("non-uniform default probs: %v", r.Probs)
+		}
+	}
+}
+
+func TestLiveSamplerRenormalizes(t *testing.T) {
+	f := getFixture(t)
+	r, err := New(f.pool, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.LiveSampler([]bool{true}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := r.LiveSampler([]bool{false, false, false}); err == nil {
+		t.Fatal("all-dead pool accepted")
+	}
+	cat, err := r.LiveSampler([]bool{true, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := cat.Probs()
+	if math.Abs(probs[0]-0.5) > 1e-12 || probs[1] != 0 || math.Abs(probs[2]-0.5) > 1e-12 {
+		t.Fatalf("renormalized probs %v, want [0.5 0 0.5]", probs)
+	}
+	// A quarantined detector is never drawn.
+	src := rng.New(3)
+	for i := 0; i < 2000; i++ {
+		if cat.Sample(src) == 1 {
+			t.Fatal("sampled a quarantined detector")
+		}
+	}
+}
+
+func TestSwitchSourceIsIndependentPerCall(t *testing.T) {
+	f := getFixture(t)
+	r, _ := New(f.pool, 42)
+	p := f.atkTest[0]
+	a, b := r.SwitchSource(p), r.SwitchSource(p)
+	for i := 0; i < 64; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("switch sources for the same program diverge")
 		}
 	}
 }

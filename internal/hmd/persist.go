@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"rhmd/internal/features"
 	"rhmd/internal/ml"
@@ -67,6 +68,19 @@ func (d *Detector) UnmarshalJSON(data []byte) error {
 	if in.Scaler == nil || len(in.Scaler.Mean) != model.Dim() || len(in.Scaler.Std) != model.Dim() {
 		return fmt.Errorf("hmd: persisted scaler does not match model dim %d", model.Dim())
 	}
+	// A corrupt or hand-edited model file must not smuggle in a scaler
+	// that divides by zero or poisons every score with NaN/Inf.
+	for j := range in.Scaler.Mean {
+		if !isFinite(in.Scaler.Mean[j]) {
+			return fmt.Errorf("hmd: persisted scaler mean[%d] = %v is not finite", j, in.Scaler.Mean[j])
+		}
+		if !isFinite(in.Scaler.Std[j]) || in.Scaler.Std[j] <= 0 {
+			return fmt.Errorf("hmd: persisted scaler std[%d] = %v must be finite and positive", j, in.Scaler.Std[j])
+		}
+	}
+	if !isFinite(in.Threshold) {
+		return fmt.Errorf("hmd: persisted threshold %v is not finite", in.Threshold)
+	}
 	wantDim := kind.Dim()
 	if in.FeatureIdx != nil {
 		wantDim = len(in.FeatureIdx)
@@ -86,6 +100,8 @@ func (d *Detector) UnmarshalJSON(data []byte) error {
 	d.Threshold = in.Threshold
 	return nil
 }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // Save writes the detector as JSON.
 func Save(w io.Writer, d *Detector) error {

@@ -1,0 +1,231 @@
+package monitor
+
+import (
+	"sync"
+	"time"
+
+	"rhmd/internal/core"
+	"rhmd/internal/rng"
+)
+
+// BreakerState is the health state of one base detector.
+type BreakerState uint8
+
+// Breaker states, the usual circuit-breaker trio: a Closed breaker
+// passes traffic, an Open one is quarantined out of the switching
+// distribution, a HalfOpen one is receiving a single probe window to
+// decide between restore and re-quarantine.
+const (
+	Closed BreakerState = iota
+	Open
+	HalfOpen
+)
+
+var breakerNames = [...]string{"closed", "open", "half-open"}
+
+// String returns the state name.
+func (s BreakerState) String() string {
+	if int(s) < len(breakerNames) {
+		return breakerNames[s]
+	}
+	return "state(?)"
+}
+
+// breaker tracks one detector's consecutive-failure history.
+type breaker struct {
+	state       BreakerState
+	consecFails int
+	// openedAt is the pool-wide window counter value when the breaker
+	// opened; probing becomes eligible probeAfter windows later.
+	openedAt uint64
+
+	calls     uint64
+	failures  uint64
+	latencyNs int64
+}
+
+// healthBoard owns the per-detector breakers and the live switching
+// sampler. All transitions happen under mu; the sampler is rebuilt (via
+// core.RHMD.LiveSampler) whenever the live set changes, so sampling
+// always reflects the renormalized survivor distribution.
+type healthBoard struct {
+	rhmd       *core.RHMD
+	threshold  int // consecutive failures that open a breaker
+	probeAfter uint64
+
+	mu       sync.Mutex
+	breakers []breaker
+	sampler  *rng.Categorical // nil when every detector is quarantined
+	windows  uint64           // pool-wide processed-window counter
+
+	quarantines uint64
+	restores    uint64
+}
+
+func newHealthBoard(r *core.RHMD, threshold int, probeAfter uint64) *healthBoard {
+	b := &healthBoard{
+		rhmd:       r,
+		threshold:  threshold,
+		probeAfter: probeAfter,
+		breakers:   make([]breaker, r.Size()),
+	}
+	b.rebuildLocked()
+	return b
+}
+
+// rebuildLocked recomputes the live sampler from breaker states. Callers
+// must hold mu (or have exclusive access during construction).
+func (b *healthBoard) rebuildLocked() {
+	live := make([]bool, len(b.breakers))
+	any := false
+	for i := range b.breakers {
+		if b.breakers[i].state == Closed {
+			live[i] = true
+			any = true
+		}
+	}
+	if !any {
+		b.sampler = nil
+		return
+	}
+	cat, err := b.rhmd.LiveSampler(live)
+	if err != nil {
+		// Unreachable: live is non-empty and weights come from a
+		// validated RHMD. Treat as all-dead rather than crash the engine.
+		b.sampler = nil
+		return
+	}
+	b.sampler = cat
+}
+
+// pick selects the detector for the next window. An Open breaker that
+// has cooled down for probeAfter windows moves to HalfOpen and receives
+// this window as its probe; otherwise the window is routed by sampling
+// the renormalized live distribution. It returns index -1 when no
+// detector is available (all quarantined, none probe-eligible) — the
+// caller must count that window as dropped, never lose it silently.
+func (b *healthBoard) pick(src *rng.Source) (idx int, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range b.breakers {
+		br := &b.breakers[i]
+		if br.state == Open && b.windows-br.openedAt >= b.probeAfter {
+			br.state = HalfOpen
+			return i, true
+		}
+	}
+	if b.sampler == nil {
+		return -1, false
+	}
+	return b.sampler.Sample(src), false
+}
+
+// liveFallbacks returns the live detector indices excluding exclude,
+// ordered by descending switching weight (ties by index), for degraded
+// re-classification of a window whose chosen detector failed.
+func (b *healthBoard) liveFallbacks(exclude int) []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []int
+	for i := range b.breakers {
+		if i != exclude && b.breakers[i].state == Closed {
+			out = append(out, i)
+		}
+	}
+	probs := b.rhmd.Probs
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && probs[out[j]] > probs[out[j-1]]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// cancelProbe reverts a HalfOpen breaker to Open. Workers call it for
+// probe windows that were scheduled but never classified (a trailing
+// partial window, an extraction error, shutdown mid-program), so an
+// unanswered probe cannot wedge the breaker in HalfOpen; the detector
+// stays probe-eligible and is retried on the next pick.
+func (b *healthBoard) cancelProbe(idx int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.breakers[idx].state == HalfOpen {
+		b.breakers[idx].state = Open
+	}
+}
+
+// windowDone advances the pool-wide window counter (the clock that
+// drives probe cooldowns).
+func (b *healthBoard) windowDone() {
+	b.mu.Lock()
+	b.windows++
+	b.mu.Unlock()
+}
+
+// report records one classification outcome for detector idx and runs
+// the breaker state machine. It returns true when the live set changed
+// (quarantine or restore), which the engine surfaces in its stats.
+func (b *healthBoard) report(idx int, ok bool, latency time.Duration) (quarantined, restored bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := &b.breakers[idx]
+	br.calls++
+	br.latencyNs += latency.Nanoseconds()
+	if ok {
+		br.consecFails = 0
+		if br.state == HalfOpen {
+			// Probe succeeded: the detector rejoins the pool and the
+			// switching distribution is renormalized back over it.
+			br.state = Closed
+			b.restores++
+			b.rebuildLocked()
+			return false, true
+		}
+		return false, false
+	}
+	br.failures++
+	br.consecFails++
+	switch br.state {
+	case HalfOpen:
+		// Probe failed: straight back to quarantine, restart cooldown.
+		br.state = Open
+		br.openedAt = b.windows
+	case Closed:
+		if br.consecFails >= b.threshold {
+			br.state = Open
+			br.openedAt = b.windows
+			b.quarantines++
+			b.rebuildLocked()
+			return true, false
+		}
+	}
+	return false, false
+}
+
+// snapshot copies per-detector health into stats rows.
+func (b *healthBoard) snapshot() ([]DetectorStats, uint64, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]DetectorStats, len(b.breakers))
+	var probs []float64
+	if b.sampler != nil {
+		probs = b.sampler.Probs()
+	}
+	for i := range b.breakers {
+		br := &b.breakers[i]
+		ds := DetectorStats{
+			Spec:     b.rhmd.Detectors[i].Spec.String(),
+			State:    br.state,
+			Calls:    br.calls,
+			Failures: br.failures,
+		}
+		if probs != nil && br.state == Closed {
+			ds.Weight = probs[i]
+		}
+		if br.calls > 0 {
+			ds.AvgLatency = time.Duration(br.latencyNs / int64(br.calls))
+		}
+		out[i] = ds
+	}
+	return out, b.quarantines, b.restores
+}

@@ -1,0 +1,251 @@
+// Package monitor is the online serving layer for RHMD: a concurrent
+// engine that streams programs through a randomized detector pool with
+// production-grade fault handling. It is the deployment story of the
+// paper's §7 — an always-on hardware monitor classifying every running
+// program — hardened for the failure modes a real deployment sees:
+//
+//   - bounded submission queues with explicit load shedding (a saturated
+//     monitor drops and counts work, it never blocks the host or loses
+//     windows silently);
+//   - per-window classification deadlines and retry-with-backoff for
+//     transient faults, with panic recovery so one poisoned trace or a
+//     crashing base detector cannot take the engine down;
+//   - per-detector consecutive-failure circuit breakers with graceful
+//     pool degradation: a faulting detector is quarantined and the
+//     switching distribution renormalized over the survivors. Per §7 the
+//     RHMD's accuracy is the average of its live base pool, so a
+//     degraded pool keeps classifying at the survivors' average accuracy
+//     instead of failing closed;
+//   - half-open probing that routes a single window back to a
+//     quarantined detector after a cooldown, restoring it (and its
+//     switching weight) once it answers correctly;
+//   - a pluggable fault-injection harness (FaultInjector) so the
+//     degradation behaviour is provable in tests.
+package monitor
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"rhmd/internal/core"
+	"rhmd/internal/prog"
+)
+
+// Config tunes the engine. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// Workers is the number of concurrent classification workers
+	// (default 4).
+	Workers int
+	// QueueDepth bounds the submission queue; a full queue sheds load
+	// (default 2×Workers).
+	QueueDepth int
+	// TraceLen is the committed-instruction budget per monitored program
+	// (default 80_000).
+	TraceLen int
+	// WindowDeadline bounds one classification attempt; a stalled
+	// detector counts as a fault (default 25ms).
+	WindowDeadline time.Duration
+	// MaxRetries is the number of re-attempts after a failed
+	// classification (default 2, i.e. three attempts total; negative
+	// disables retries).
+	MaxRetries int
+	// RetryBackoff is the base backoff before the first retry, doubling
+	// per attempt (default 500µs).
+	RetryBackoff time.Duration
+	// FailureThreshold is the consecutive-failure count that opens a
+	// detector's breaker (default 3).
+	FailureThreshold int
+	// ProbeAfter is the quarantine cooldown, measured in pool-wide
+	// processed windows, before a half-open probe (default 64). Counting
+	// windows instead of wall-clock keeps tests deterministic.
+	ProbeAfter int
+	// Injector, when non-nil, injects faults into classification calls.
+	Injector FaultInjector
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.TraceLen <= 0 {
+		c.TraceLen = 80_000
+	}
+	if c.WindowDeadline <= 0 {
+		c.WindowDeadline = 25 * time.Millisecond
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 500 * time.Microsecond
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.ProbeAfter <= 0 {
+		c.ProbeAfter = 64
+	}
+}
+
+// Report is the engine's verdict for one monitored program.
+type Report struct {
+	Program string
+	Label   prog.Label
+	// Malware is the majority-rule verdict over classified windows.
+	Malware bool
+	// Windows/Flagged/Degraded/Dropped account for every window of the
+	// program's trace: Windows classified (Flagged malware, Degraded via
+	// a fallback detector), Dropped unclassifiable (no live detector).
+	Windows  int
+	Flagged  int
+	Degraded int
+	Dropped  int
+	// Err is set when the program could not be traced at all; the other
+	// fields are zero in that case.
+	Err error
+}
+
+// Engine streams programs through an RHMD pool. Construct with New,
+// start workers with Start, feed with Submit, consume Results, and
+// Close to drain.
+type Engine struct {
+	rhmd *core.RHMD
+	cfg  Config
+
+	queue   chan *prog.Program
+	results chan Report
+	wg      sync.WaitGroup
+	health  *healthBoard
+	ctr     counters
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+}
+
+// New validates the configuration and builds an engine around a trained
+// pool.
+func New(r *core.RHMD, cfg Config) (*Engine, error) {
+	if r == nil || r.Size() == 0 {
+		return nil, fmt.Errorf("monitor: engine needs a non-empty RHMD pool")
+	}
+	cfg.fill()
+	return &Engine{
+		rhmd:    r,
+		cfg:     cfg,
+		queue:   make(chan *prog.Program, cfg.QueueDepth),
+		results: make(chan Report, cfg.QueueDepth),
+		health:  newHealthBoard(r, cfg.FailureThreshold, uint64(cfg.ProbeAfter)),
+	}, nil
+}
+
+// Start launches the worker pool. Cancelling ctx stops workers promptly
+// (in-flight programs finish their current window attempt and are
+// reported with ctx's error). Start is idempotent.
+func (e *Engine) Start(ctx context.Context) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return
+	}
+	e.started = true
+	for i := 0; i < e.cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker(ctx)
+	}
+	go func() {
+		e.wg.Wait()
+		close(e.results)
+	}()
+}
+
+// Submit offers a program to the engine. It returns false — and counts
+// the program as shed — when the queue is full (backpressure) or the
+// engine is closed. Shedding is explicit by design: an overloaded
+// monitor must fail visibly, not stall the host.
+func (e *Engine) Submit(p *prog.Program) bool {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		e.ctr.programsShed.Add(1)
+		return false
+	}
+	select {
+	case e.queue <- p:
+		return true
+	default:
+		e.ctr.programsShed.Add(1)
+		return false
+	}
+}
+
+// Results returns the report stream. It is closed after Close (or
+// context cancellation) once all workers have drained.
+func (e *Engine) Results() <-chan Report { return e.results }
+
+// Close stops accepting submissions and lets workers drain the queue.
+// It does not wait; range over Results to observe completion.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	close(e.queue)
+}
+
+// Stats snapshots the engine's counters and per-detector health.
+func (e *Engine) Stats() Stats {
+	det, quar, rest := e.health.snapshot()
+	return Stats{
+		ProgramsProcessed: e.ctr.programs.Load(),
+		ProgramsShed:      e.ctr.programsShed.Load(),
+		ProgramsFailed:    e.ctr.programsFailed.Load(),
+		Windows:           e.ctr.windows.Load(),
+		Flagged:           e.ctr.flagged.Load(),
+		Degraded:          e.ctr.degraded.Load(),
+		DroppedWindows:    e.ctr.droppedWindows.Load(),
+		Retries:           e.ctr.retries.Load(),
+		Timeouts:          e.ctr.timeouts.Load(),
+		Panics:            e.ctr.panics.Load(),
+		Quarantines:       quar,
+		Restores:          rest,
+		Detectors:         det,
+	}
+}
+
+// worker consumes the queue until it closes or ctx is cancelled.
+func (e *Engine) worker(ctx context.Context) {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case p, ok := <-e.queue:
+			if !ok {
+				return
+			}
+			rep := e.process(ctx, p)
+			if rep.Err != nil {
+				e.ctr.programsFailed.Add(1)
+			} else {
+				e.ctr.programs.Add(1)
+			}
+			select {
+			case e.results <- rep:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// counters is the engine's hot-path accounting, all atomics so workers
+// never contend on a lock for bookkeeping.
+type counters struct {
+	programs       atomic.Uint64
+	programsShed   atomic.Uint64
+	programsFailed atomic.Uint64
+	windows        atomic.Uint64
+	flagged        atomic.Uint64
+	degraded       atomic.Uint64
+	droppedWindows atomic.Uint64
+	retries        atomic.Uint64
+	timeouts       atomic.Uint64
+	panics         atomic.Uint64
+}
+
+// DetectorStats is one base detector's health row in a Stats snapshot.
+type DetectorStats struct {
+	Spec     string
+	State    BreakerState
+	Calls    uint64
+	Failures uint64
+	// Weight is the detector's current renormalized switching weight
+	// (zero while quarantined).
+	Weight     float64
+	AvgLatency time.Duration
+}
+
+// Stats is a point-in-time snapshot of engine activity — the seam a
+// future observability layer (metrics export, dashboards) hangs off.
+// Every submitted program and every extracted window lands in exactly
+// one of these buckets; nothing is dropped silently.
+type Stats struct {
+	// ProgramsProcessed counts programs fully classified (possibly with
+	// degraded windows). ProgramsShed counts submissions rejected by
+	// queue backpressure; ProgramsFailed counts trace/extraction errors.
+	ProgramsProcessed uint64
+	ProgramsShed      uint64
+	ProgramsFailed    uint64
+	// Windows counts classified windows; Flagged the subset flagged as
+	// malware; Degraded the subset classified by a fallback detector
+	// after the scheduled one failed; DroppedWindows the windows no live
+	// detector could classify.
+	Windows        uint64
+	Flagged        uint64
+	Degraded       uint64
+	DroppedWindows uint64
+	// Retries, Timeouts and Panics count fault-handling events.
+	Retries  uint64
+	Timeouts uint64
+	Panics   uint64
+	// Quarantines and Restores count breaker transitions; Detectors
+	// holds the per-detector health rows.
+	Quarantines uint64
+	Restores    uint64
+	Detectors   []DetectorStats
+}
+
+// LivePool returns how many detectors are currently serving traffic.
+func (s Stats) LivePool() int {
+	n := 0
+	for _, d := range s.Detectors {
+		if d.State == Closed {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the snapshot as a small survival report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "programs: %d processed, %d failed; %d shed submissions (callers may retry)\n",
+		s.ProgramsProcessed, s.ProgramsFailed, s.ProgramsShed)
+	fmt.Fprintf(&b, "windows:  %d classified (%d flagged, %d degraded), %d dropped\n",
+		s.Windows, s.Flagged, s.Degraded, s.DroppedWindows)
+	fmt.Fprintf(&b, "faults:   %d retries, %d timeouts, %d panics, %d quarantines, %d restores\n",
+		s.Retries, s.Timeouts, s.Panics, s.Quarantines, s.Restores)
+	fmt.Fprintf(&b, "pool:     %d/%d detectors live\n", s.LivePool(), len(s.Detectors))
+	for i, d := range s.Detectors {
+		fmt.Fprintf(&b, "  [%d] %-26s %-9s w=%.3f calls=%-6d fails=%-5d avg=%s\n",
+			i, d.Spec, d.State, d.Weight, d.Calls, d.Failures, d.AvgLatency)
+	}
+	return b.String()
+}

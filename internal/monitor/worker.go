@@ -1,0 +1,241 @@
+package monitor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"rhmd/internal/features"
+	"rhmd/internal/prog"
+)
+
+// ErrDeadline marks a classification attempt that outlived the window
+// deadline.
+var ErrDeadline = errors.New("monitor: window deadline exceeded")
+
+// process monitors one program end to end: schedule windows over the
+// live pool, classify each with fault handling, aggregate the
+// majority-rule verdict. A panic anywhere in tracing or extraction is
+// converted into a program-level error so one poisoned trace cannot
+// take a worker down.
+func (e *Engine) process(ctx context.Context, p *prog.Program) (rep Report) {
+	rep = Report{Program: p.Name, Label: p.Label}
+	defer func() {
+		if r := recover(); r != nil {
+			e.ctr.panics.Add(1)
+			rep.Err = fmt.Errorf("monitor: tracing %q panicked: %v", p.Name, r)
+		}
+	}()
+
+	// Schedule: each window is collected at the period of the detector
+	// picked for it, sampled from the renormalized live distribution
+	// (exactly DecideTrace's contract, but against the live pool).
+	src := e.rhmd.SwitchSource(p)
+	var seq []int
+	var probes []bool
+	resolved := 0
+	// The schedule runs one pick ahead of extraction (the trailing
+	// partial window is discarded), and errors or shutdown can leave
+	// further picks unclassified. A probe pick that never reports would
+	// wedge its breaker in HalfOpen, so cancel every unresolved one.
+	defer func() {
+		for i := resolved; i < len(seq); i++ {
+			if probes[i] {
+				e.health.cancelProbe(seq[i])
+			}
+		}
+	}()
+	next := func() int {
+		// pick also owns probe routing: a cooled-down quarantined
+		// detector is handed this window half-open, and the breaker
+		// resolves the probe from the classification outcome.
+		idx, probe := e.health.pick(src)
+		seq = append(seq, idx)
+		probes = append(probes, probe)
+		if idx < 0 {
+			// Nothing live to schedule for: collect at the pool's
+			// smallest period so the stream stays window-aligned; the
+			// window itself will be counted as dropped.
+			return e.minPeriod()
+		}
+		return e.rhmd.Detectors[idx].Spec.Period
+	}
+	ws, err := features.ExtractScheduled(p, next, e.cfg.TraceLen)
+	if err != nil {
+		rep.Err = fmt.Errorf("monitor: extracting %q: %w", p.Name, err)
+		return rep
+	}
+
+	for w := 0; w < ws.Windows; w++ {
+		idx := seq[w]
+		decision, degraded, ok := e.classifyWindow(ctx, p, ws, w, idx)
+		if err := ctx.Err(); err != nil {
+			// Shutdown mid-window: the classify outcome may not have
+			// reached the breaker, so leave seq[w] to the probe-cancel
+			// defer rather than marking it resolved.
+			rep.Err = err
+			return rep
+		}
+		resolved = w + 1
+		e.health.windowDone()
+		if !ok {
+			rep.Dropped++
+			e.ctr.droppedWindows.Add(1)
+			continue
+		}
+		rep.Windows++
+		e.ctr.windows.Add(1)
+		if degraded {
+			rep.Degraded++
+			e.ctr.degraded.Add(1)
+		}
+		if decision == 1 {
+			rep.Flagged++
+			e.ctr.flagged.Add(1)
+		}
+	}
+	rep.Malware = float64(rep.Flagged) >= float64(rep.Windows)/2 && rep.Windows > 0
+	return rep
+}
+
+// classifyWindow classifies window w, starting with the scheduled
+// detector idx and degrading to live fallbacks when it fails. ok=false
+// means no detector could classify the window (it is dropped and
+// counted). degraded=true means a fallback, not the scheduled detector,
+// produced the decision.
+func (e *Engine) classifyWindow(ctx context.Context, p *prog.Program, ws *features.WindowSet, w, idx int) (decision int, degraded, ok bool) {
+	if idx >= 0 {
+		dec, err := e.classify(ctx, p, ws, w, idx)
+		if err == nil {
+			return dec, false, true
+		}
+		if ctx.Err() != nil {
+			return 0, false, false
+		}
+	}
+	// Degraded mode: the already-collected window is re-scored by the
+	// surviving detectors in descending switching weight. Their feature
+	// kind may differ from the scheduled detector's, but the window set
+	// carries every kind, so survivors classify the same hardware
+	// observation through their own feature view.
+	for _, fb := range e.health.liveFallbacks(idx) {
+		dec, err := e.classify(ctx, p, ws, w, fb)
+		if err == nil {
+			return dec, true, true
+		}
+		if ctx.Err() != nil {
+			return 0, false, false
+		}
+	}
+	return 0, false, false
+}
+
+// classify runs one detector over one window with retry-with-backoff,
+// reporting the final outcome to the health board.
+func (e *Engine) classify(ctx context.Context, p *prog.Program, ws *features.WindowSet, w, idx int) (int, error) {
+	d := e.rhmd.Detectors[idx]
+	vec := ws.Rows(d.Spec.Kind)[w]
+	start := time.Now()
+	var lastErr error
+	for attempt := 0; attempt <= e.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			e.ctr.retries.Add(1)
+			backoff := e.cfg.RetryBackoff << (attempt - 1)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		}
+		dec, err := e.classifyOnce(ctx, FaultContext{
+			Detector: idx,
+			ProgSeed: p.Seed,
+			ProgName: p.Name,
+			Window:   w,
+			Attempt:  attempt,
+		}, d.ScoreWindow, d.Threshold, vec)
+		if err == nil {
+			e.health.report(idx, true, time.Since(start))
+			return dec, nil
+		}
+		lastErr = err
+		switch {
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			if ctx.Err() != nil {
+				return 0, err
+			}
+		case errors.Is(err, ErrDeadline):
+			e.ctr.timeouts.Add(1)
+		}
+	}
+	e.health.report(idx, false, time.Since(start))
+	return 0, lastErr
+}
+
+// classifyOnce is a single deadline-bounded attempt. The detector call
+// runs in its own goroutine so a stalled or crashing model is contained:
+// panics are recovered into errors and a stall past the window deadline
+// is abandoned (the goroutine finishes harmlessly on its own).
+func (e *Engine) classifyOnce(ctx context.Context, fc FaultContext, score func([]float64) float64, threshold float64, vec []float64) (int, error) {
+	type outcome struct {
+		dec int
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.ctr.panics.Add(1)
+				ch <- outcome{err: fmt.Errorf("monitor: detector %d panicked: %v", fc.Detector, r)}
+			}
+		}()
+		v := vec
+		if e.cfg.Injector != nil {
+			switch f := e.cfg.Injector.Fault(fc); f.Kind {
+			case FaultError:
+				ch <- outcome{err: ErrInjected}
+				return
+			case FaultPanic:
+				panic("injected detector fault")
+			case FaultLatency:
+				time.Sleep(f.Latency)
+			case FaultCorrupt:
+				v = make([]float64, len(vec))
+				for i := range v {
+					v[i] = math.NaN()
+				}
+			}
+		}
+		s := score(v)
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			ch <- outcome{err: fmt.Errorf("monitor: detector %d produced non-finite score", fc.Detector)}
+			return
+		}
+		dec := 0
+		if s >= threshold {
+			dec = 1
+		}
+		ch <- outcome{dec: dec}
+	}()
+	select {
+	case out := <-ch:
+		return out.dec, out.err
+	case <-time.After(e.cfg.WindowDeadline):
+		return 0, ErrDeadline
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// minPeriod returns the pool's smallest collection period.
+func (e *Engine) minPeriod() int {
+	min := e.rhmd.Detectors[0].Spec.Period
+	for _, d := range e.rhmd.Detectors {
+		if d.Spec.Period < min {
+			min = d.Spec.Period
+		}
+	}
+	return min
+}

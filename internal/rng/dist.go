@@ -34,6 +34,11 @@ func NewCategorical(weights []float64) (*Categorical, error) {
 	if total == 0 {
 		return nil, fmt.Errorf("rng: all weights are zero")
 	}
+	if math.IsInf(total, 0) {
+		// Each weight is finite but the sum overflowed; normalizing would
+		// produce NaNs and a silently broken alias table.
+		return nil, fmt.Errorf("rng: weight sum overflows to +Inf")
+	}
 	c := &Categorical{
 		prob:  make([]float64, n),
 		alias: make([]int, n),

@@ -222,6 +222,17 @@ func TestCategoricalErrors(t *testing.T) {
 	if _, err := NewCategorical([]float64{1, math.NaN()}); err == nil {
 		t.Fatal("want error for NaN weight")
 	}
+	if _, err := NewCategorical([]float64{1, math.Inf(1)}); err == nil {
+		t.Fatal("want error for +Inf weight")
+	}
+	if _, err := NewCategorical([]float64{1, math.Inf(-1)}); err == nil {
+		t.Fatal("want error for -Inf weight")
+	}
+	// Individually finite weights whose sum overflows to +Inf would
+	// normalize into NaNs; the constructor must reject them.
+	if _, err := NewCategorical([]float64{math.MaxFloat64, math.MaxFloat64}); err == nil {
+		t.Fatal("want error for weight sum overflowing to +Inf")
+	}
 }
 
 func TestCategoricalZeroWeightNeverSampled(t *testing.T) {
