@@ -1,8 +1,12 @@
 GO ?= go
 
-.PHONY: all vet build test race fuzz check clean
+.PHONY: all fmt vet build test race bench fuzz check clean
 
 all: check
+
+# Fails when any file is unformatted; instrumentation never lands ugly.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -16,12 +20,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Smoke-run every benchmark once: catches bit-rotted benchmarks and
+# regressions that crash, without the cost of a timed run.
+bench:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
 # Short fuzzing pass over the persistence layer; CI runs the seed corpus
 # via plain `go test`, this target digs deeper locally.
 fuzz:
 	$(GO) test -run FuzzLoadRHMD -fuzz FuzzLoadRHMD -fuzztime 30s ./internal/core/
 
-check: vet build race
+check: fmt vet build race
 
 clean:
 	$(GO) clean ./...

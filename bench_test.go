@@ -10,10 +10,18 @@
 package rhmd_test
 
 import (
+	"context"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"rhmd/internal/core"
+	"rhmd/internal/dataset"
 	"rhmd/internal/experiments"
+	"rhmd/internal/features"
+	"rhmd/internal/monitor"
+	"rhmd/internal/obs"
 )
 
 var (
@@ -125,3 +133,103 @@ func BenchmarkAblationSwitching(b *testing.B) { runExperiment(b, "ablation-switc
 // BenchmarkAblationWhitebox runs the §8.3 white-box iterative evasion
 // and the non-stationary counter-measure.
 func BenchmarkAblationWhitebox(b *testing.B) { runExperiment(b, "ablation-whitebox") }
+
+// benchPool trains the six-detector pool once, shared by the monitor
+// benchmarks below.
+var (
+	benchPoolOnce sync.Once
+	benchRHMD     *core.RHMD
+	benchPoolErr  error
+)
+
+func monitorPool(b *testing.B) *core.RHMD {
+	b.Helper()
+	e := env(b)
+	benchPoolOnce.Do(func() {
+		periods := []int{e.Cfg.PeriodSmall, e.Cfg.Period}
+		data := map[int]*dataset.MultiWindowData{}
+		for _, p := range periods {
+			mw, err := e.Windows("victim", p)
+			if err != nil {
+				benchPoolErr = err
+				return
+			}
+			data[p] = mw
+		}
+		specs := core.PoolSpecs(features.AllKinds(), periods, "lr")
+		pool, err := core.TrainPool(specs, data, e.Cfg.Seed+9)
+		if err != nil {
+			benchPoolErr = err
+			return
+		}
+		benchRHMD, benchPoolErr = core.New(pool, e.Cfg.Seed+10)
+	})
+	if benchPoolErr != nil {
+		b.Fatal(benchPoolErr)
+	}
+	return benchRHMD
+}
+
+// benchmarkMonitor streams the attacker-test corpus through a healthy
+// engine once per iteration. The two variants differ only in the
+// observability wiring, so their ns/op gap is exactly the cost of the
+// instrumentation hot path.
+func benchmarkMonitor(b *testing.B, cfg func(*monitor.Config)) {
+	e := env(b)
+	r := monitorPool(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mcfg := monitor.Config{Workers: 4, QueueDepth: len(e.AtkTest),
+			TraceLen: e.Cfg.TraceLen, WindowDeadline: 2 * time.Second}
+		if cfg != nil {
+			cfg(&mcfg)
+		}
+		eng, err := monitor.New(r, mcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Start(context.Background())
+		for _, p := range e.AtkTest {
+			if !eng.Submit(p) {
+				b.Fatal("submission shed with roomy queue")
+			}
+		}
+		eng.Close()
+		n := 0
+		for rep := range eng.Results() {
+			if rep.Err != nil {
+				b.Fatal(rep.Err)
+			}
+			n++
+		}
+		if n != len(e.AtkTest) {
+			b.Fatalf("%d reports for %d programs", n, len(e.AtkTest))
+		}
+	}
+}
+
+// BenchmarkMonitorBaseline is the uninstrumented reference: the engine's
+// always-on registry counters (pre-resolved atomics) but no tracer and
+// no scrape traffic.
+func BenchmarkMonitorBaseline(b *testing.B) { benchmarkMonitor(b, nil) }
+
+// BenchmarkMonitorInstrumented is the guard for the observability PR:
+// full wiring — shared registry, event tracer, and a /metrics render per
+// iteration. Compare against BenchmarkMonitorBaseline; the delta must
+// stay in the noise, because the hot path adds only pre-resolved atomic
+// operations (no locks, no label lookups, no allocation).
+func BenchmarkMonitorInstrumented(b *testing.B) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(1 << 14)
+	benchmarkMonitor(b, func(c *monitor.Config) {
+		// A fresh registry per engine would be the production shape; the
+		// shared one here is fine because each iteration only adds to
+		// the same counters, and keeps the benchmark allocation-honest.
+		c.Metrics = reg
+		c.Tracer = tracer
+	})
+	var sink strings.Builder
+	if err := reg.WritePrometheus(&sink); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -5,12 +5,17 @@
 // Usage:
 //
 //	rhmd-bench [-scale full|smoke] [-seed N] [-run fig8,fig16] [-csv DIR] [-list]
+//	rhmd-bench -metrics-addr :9090   # live suite progress + pprof
 //
 // The full scale is what EXPERIMENTS.md records; the smoke scale runs
-// the whole suite in a couple of minutes at reduced corpus size.
+// the whole suite in a couple of minutes at reduced corpus size. With
+// -metrics-addr set, per-experiment wall-time and sample-count metrics
+// are scrapeable on /metrics while the suite runs, and /debug/pprof
+// profiles the hot figure drivers in place.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +24,7 @@ import (
 	"time"
 
 	"rhmd/internal/experiments"
+	"rhmd/internal/obs"
 )
 
 func main() {
@@ -27,7 +33,18 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	csvDir := flag.String("csv", "", "directory to export per-table CSV files")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address while the suite runs (e.g. :9090)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		addr, shutdown, err := obs.ListenAndServe(*metricsAddr, obs.Default(), nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer shutdown(context.Background())
+		fmt.Printf("observability endpoint on http://%s (/metrics, /debug/pprof)\n", addr)
+	}
 
 	if *list {
 		for _, x := range experiments.Registry() {
@@ -81,7 +98,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", x.ID, err)
 			os.Exit(1)
 		}
+		rows := 0
 		for _, t := range tables {
+			rows += len(t.Rows)
 			t.Print(os.Stdout)
 			if *csvDir != "" {
 				if err := writeCSV(*csvDir, t); err != nil {
@@ -90,6 +109,7 @@ func main() {
 				}
 			}
 		}
+		experiments.RecordRun(x.ID, time.Since(t0), rows)
 		fmt.Printf("  [%s in %.1fs]\n\n", x.ID, time.Since(t0).Seconds())
 	}
 	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())

@@ -9,10 +9,17 @@
 //	rhmd-monitor                                    # healthy pool
 //	rhmd-monitor -inject 1:error,4:panic,4:latency  # two faulty detectors
 //	rhmd-monitor -inject 4:panic -until 4:30        # detector 4 recovers
+//	rhmd-monitor -metrics-addr :9090 -snapshot-every 2s
+//	rhmd-monitor -trace-out events.json -json       # machine-readable
+//
+// With -metrics-addr set, the monitor serves live introspection while it
+// runs: Prometheus metrics on /metrics, the structured event ring on
+// /traces, and net/http/pprof on /debug/pprof/.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +31,7 @@ import (
 	"rhmd/internal/dataset"
 	"rhmd/internal/features"
 	"rhmd/internal/monitor"
+	"rhmd/internal/obs"
 	"rhmd/internal/prog"
 )
 
@@ -41,7 +49,19 @@ func main() {
 	until := flag.String("until", "", "recovery points as det:N pairs, e.g. 4:30 (detector heals after N faulted windows)")
 	rate := flag.Float64("rate", 1.0, "total fault rate per faulty detector, split across its modes")
 	verbose := flag.Bool("v", false, "print one line per monitored program")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /traces and /debug/pprof on this address while running (e.g. :9090)")
+	traceOut := flag.String("trace-out", "", "write the surviving trace events as JSON to this file after the run (- for stdout)")
+	traceCap := flag.Int("trace-cap", 4096, "event ring capacity for -trace-out and /traces")
+	snapshotEvery := flag.Duration("snapshot-every", 0, "log a one-line stats snapshot to stderr at this interval (0 = off)")
+	jsonOut := flag.Bool("json", false, "print the survival report as JSON instead of text")
 	flag.Parse()
+
+	// In -json mode stdout carries exactly one JSON document; everything
+	// informational moves to stderr.
+	info := os.Stdout
+	if *jsonOut {
+		info = os.Stderr
+	}
 
 	ps, err := parsePeriods(*periods)
 	check(err)
@@ -64,11 +84,15 @@ func main() {
 	check(err)
 	r, err := core.New(pool, *seed+3)
 	check(err)
-	fmt.Printf("deployed %s\n", r)
+	fmt.Fprintf(info, "deployed %s\n", r)
 
 	injector, err := parseInjector(*inject, *until, *rate, *deadline, *seed, len(pool))
 	check(err)
 
+	var tracer *obs.Tracer
+	if *traceOut != "" || *metricsAddr != "" {
+		tracer = obs.NewTracer(*traceCap)
+	}
 	e, err := monitor.New(r, monitor.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -76,11 +100,39 @@ func main() {
 		WindowDeadline: *deadline,
 		ProbeAfter:     *probeAfter,
 		Injector:       injector,
+		Tracer:         tracer,
 	})
 	check(err)
 
+	if *metricsAddr != "" {
+		addr, shutdown, err := obs.ListenAndServe(*metricsAddr, e.Registry(), tracer)
+		check(err)
+		defer shutdown(context.Background())
+		fmt.Fprintf(info, "observability endpoint on http://%s (/metrics, /traces, /debug/pprof)\n", addr)
+	}
+
 	start := time.Now()
 	e.Start(context.Background())
+
+	if *snapshotEvery > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(*snapshotEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					st := e.Stats()
+					fmt.Fprintf(os.Stderr, "[%s] programs=%d windows=%d degraded=%d dropped=%d pool=%d/%d\n",
+						time.Since(start).Round(time.Millisecond), st.ProgramsProcessed, st.Windows,
+						st.Degraded, st.DroppedWindows, st.LivePool(), len(st.Detectors))
+				}
+			}
+		}()
+	}
 	go func() {
 		for _, p := range stream {
 			for !e.Submit(p) {
@@ -95,7 +147,7 @@ func main() {
 	correct, total := 0, 0
 	for rep := range e.Results() {
 		if rep.Err != nil {
-			fmt.Printf("  %-18s ERROR: %v\n", rep.Program, rep.Err)
+			fmt.Fprintf(info, "  %-18s ERROR: %v\n", rep.Program, rep.Err)
 			continue
 		}
 		total++
@@ -107,17 +159,54 @@ func main() {
 			if rep.Malware {
 				verdict = "MALWARE"
 			}
-			fmt.Printf("  %-18s %s  %3d/%3d windows flagged, %d degraded, %d dropped\n",
+			fmt.Fprintf(info, "  %-18s %s  %3d/%3d windows flagged, %d degraded, %d dropped\n",
 				rep.Program, verdict, rep.Flagged, rep.Windows, rep.Degraded, rep.Dropped)
 		}
 	}
 	elapsed := time.Since(start)
+
+	if *traceOut != "" {
+		check(writeTrace(*traceOut, tracer))
+	}
+
+	if *jsonOut {
+		report := struct {
+			Programs  int           `json:"programs"`
+			Correct   int           `json:"correct"`
+			Accuracy  float64       `json:"accuracy"`
+			ElapsedNs time.Duration `json:"elapsed_ns"`
+			Stats     monitor.Stats `json:"stats"`
+		}{Programs: total, Correct: correct, ElapsedNs: elapsed, Stats: e.Stats()}
+		if total > 0 {
+			report.Accuracy = float64(correct) / float64(total)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(report))
+		return
+	}
 
 	fmt.Printf("\nsurvival report (%d programs in %v)\n", total, elapsed.Round(time.Millisecond))
 	fmt.Print(e.Stats())
 	if total > 0 {
 		fmt.Printf("verdict accuracy: %.1f%% (%d/%d)\n", 100*float64(correct)/float64(total), correct, total)
 	}
+}
+
+// writeTrace drains the event ring as JSON to path ("-" = stdout).
+func writeTrace(path string, tracer *obs.Tracer) error {
+	if path == "-" {
+		return tracer.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parsePeriods(s string) ([]int, error) {

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
+
+	"rhmd/internal/obs"
 )
 
 // Runner produces the tables of one experiment.
@@ -70,13 +73,31 @@ func Run(e *Env, ids []string, w io.Writer) error {
 		}
 	}
 	for _, x := range list {
+		t0 := time.Now()
 		tables, err := x.Run(e)
 		if err != nil {
 			return fmt.Errorf("experiments: %s: %w", x.ID, err)
 		}
+		rows := 0
 		for _, t := range tables {
+			rows += len(t.Rows)
 			t.Print(w)
 		}
+		RecordRun(x.ID, time.Since(t0), rows)
 	}
 	return nil
+}
+
+// RecordRun publishes one experiment execution — wall time and produced
+// sample count — to the default observability registry, so a live
+// /metrics endpoint (e.g. rhmd-bench -metrics-addr) shows suite
+// progress and per-figure cost.
+func RecordRun(id string, wall time.Duration, rows int) {
+	reg := obs.Default()
+	reg.GaugeVec("rhmd_experiment_wall_seconds",
+		"Wall-clock time of the most recent run of each experiment.", "id").With(id).Set(wall.Seconds())
+	reg.CounterVec("rhmd_experiment_rows_total",
+		"Table rows (samples) produced by each experiment, across runs.", "id").With(id).Add(uint64(rows))
+	reg.CounterVec("rhmd_experiment_runs_total",
+		"Completed runs of each experiment.", "id").With(id).Inc()
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rhmd/internal/core"
+	"rhmd/internal/obs"
 	"rhmd/internal/rng"
 )
 
@@ -60,6 +61,11 @@ type healthBoard struct {
 
 	quarantines uint64
 	restores    uint64
+
+	// ins/tracer mirror transitions into the observability layer; both
+	// are attached after construction and may be nil in unit tests.
+	ins    *instruments
+	tracer *obs.Tracer
 }
 
 func newHealthBoard(r *core.RHMD, threshold int, probeAfter uint64) *healthBoard {
@@ -71,6 +77,43 @@ func newHealthBoard(r *core.RHMD, threshold int, probeAfter uint64) *healthBoard
 	}
 	b.rebuildLocked()
 	return b
+}
+
+// attach wires the board to the engine's instruments and tracer and
+// publishes the initial weight/state gauges. Must be called before the
+// board sees traffic.
+func (b *healthBoard) attach(ins *instruments, tracer *obs.Tracer) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ins = ins
+	b.tracer = tracer
+	b.publishLocked()
+}
+
+// publishLocked refreshes the per-detector weight/state gauges and the
+// live-pool gauge from current breaker state. Callers hold mu.
+func (b *healthBoard) publishLocked() {
+	if b.ins == nil {
+		return
+	}
+	var probs []float64
+	if b.sampler != nil {
+		probs = b.sampler.Probs()
+	}
+	live := 0
+	for i := range b.breakers {
+		st := b.breakers[i].state
+		b.ins.state[i].Set(float64(st))
+		w := 0.0
+		if probs != nil && st == Closed {
+			w = probs[i]
+		}
+		b.ins.weight[i].Set(w)
+		if st == Closed || st == HalfOpen {
+			live++
+		}
+	}
+	b.ins.poolLive.Set(float64(live))
 }
 
 // rebuildLocked recomputes the live sampler from breaker states. Callers
@@ -111,13 +154,23 @@ func (b *healthBoard) pick(src *rng.Source) (idx int, probe bool) {
 		br := &b.breakers[i]
 		if br.state == Open && b.windows-br.openedAt >= b.probeAfter {
 			br.state = HalfOpen
+			if b.ins != nil {
+				b.ins.state[i].Set(float64(HalfOpen))
+			}
+			b.tracer.Emit(obs.Event{Kind: obs.EvProbe, Detector: i, Window: -1})
 			return i, true
 		}
 	}
 	if b.sampler == nil {
 		return -1, false
 	}
-	return b.sampler.Sample(src), false
+	idx = b.sampler.Sample(src)
+	if b.ins != nil {
+		// Draw counters let a scrape check the empirical switching
+		// distribution against the renormalized LiveSampler weights.
+		b.ins.draws[idx].Inc()
+	}
+	return idx, false
 }
 
 // liveFallbacks returns the live detector indices excluding exclude,
@@ -151,6 +204,9 @@ func (b *healthBoard) cancelProbe(idx int) {
 	defer b.mu.Unlock()
 	if b.breakers[idx].state == HalfOpen {
 		b.breakers[idx].state = Open
+		if b.ins != nil {
+			b.ins.state[idx].Set(float64(Open))
+		}
 	}
 }
 
@@ -171,6 +227,9 @@ func (b *healthBoard) report(idx int, ok bool, latency time.Duration) (quarantin
 	br := &b.breakers[idx]
 	br.calls++
 	br.latencyNs += latency.Nanoseconds()
+	if b.ins != nil {
+		b.ins.latency[idx].ObserveDuration(latency)
+	}
 	if ok {
 		br.consecFails = 0
 		if br.state == HalfOpen {
@@ -179,6 +238,11 @@ func (b *healthBoard) report(idx int, ok bool, latency time.Duration) (quarantin
 			br.state = Closed
 			b.restores++
 			b.rebuildLocked()
+			if b.ins != nil {
+				b.ins.restores.Inc()
+			}
+			b.publishLocked()
+			b.tracer.Emit(obs.Event{Kind: obs.EvRestore, Detector: idx, Window: -1, Detail: "probe succeeded"})
 			return false, true
 		}
 		return false, false
@@ -190,12 +254,19 @@ func (b *healthBoard) report(idx int, ok bool, latency time.Duration) (quarantin
 		// Probe failed: straight back to quarantine, restart cooldown.
 		br.state = Open
 		br.openedAt = b.windows
+		b.publishLocked()
+		b.tracer.Emit(obs.Event{Kind: obs.EvQuarantine, Detector: idx, Window: -1, Detail: "probe failed"})
 	case Closed:
 		if br.consecFails >= b.threshold {
 			br.state = Open
 			br.openedAt = b.windows
 			b.quarantines++
 			b.rebuildLocked()
+			if b.ins != nil {
+				b.ins.quarantines.Inc()
+			}
+			b.publishLocked()
+			b.tracer.Emit(obs.Event{Kind: obs.EvQuarantine, Detector: idx, Window: -1, Detail: "failure threshold reached"})
 			return true, false
 		}
 	}

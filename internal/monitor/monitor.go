@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"rhmd/internal/core"
+	"rhmd/internal/obs"
 	"rhmd/internal/prog"
 )
 
@@ -64,6 +65,15 @@ type Config struct {
 	ProbeAfter int
 	// Injector, when non-nil, injects faults into classification calls.
 	Injector FaultInjector
+	// Metrics is the observability registry the engine's instruments
+	// register in (nil = a fresh private registry; reachable either way
+	// via Engine.Registry). One engine per registry: two engines sharing
+	// a registry would share — and double-count — the same instruments.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives structured lifecycle events
+	// (submit → extract → window → verdict, plus fault and breaker
+	// events). Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) fill() {
@@ -124,7 +134,9 @@ type Engine struct {
 	results chan Report
 	wg      sync.WaitGroup
 	health  *healthBoard
-	ctr     counters
+	reg     *obs.Registry
+	ins     *instruments
+	tracer  *obs.Tracer
 
 	mu      sync.Mutex
 	started bool
@@ -138,14 +150,27 @@ func New(r *core.RHMD, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("monitor: engine needs a non-empty RHMD pool")
 	}
 	cfg.fill()
-	return &Engine{
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e := &Engine{
 		rhmd:    r,
 		cfg:     cfg,
 		queue:   make(chan *prog.Program, cfg.QueueDepth),
 		results: make(chan Report, cfg.QueueDepth),
 		health:  newHealthBoard(r, cfg.FailureThreshold, uint64(cfg.ProbeAfter)),
-	}, nil
+		reg:     reg,
+		ins:     newInstruments(reg, r),
+		tracer:  cfg.Tracer,
+	}
+	e.health.attach(e.ins, e.tracer)
+	return e, nil
 }
+
+// Registry returns the engine's observability registry — mount it on an
+// obs.NewMux to expose /metrics for this engine.
+func (e *Engine) Registry() *obs.Registry { return e.reg }
 
 // Start launches the worker pool. Cancelling ctx stops workers promptly
 // (in-flight programs finish their current window attempt and are
@@ -176,14 +201,18 @@ func (e *Engine) Submit(p *prog.Program) bool {
 	closed := e.closed
 	e.mu.Unlock()
 	if closed {
-		e.ctr.programsShed.Add(1)
+		e.ins.shed.Inc()
+		e.tracer.Emit(obs.Event{Kind: obs.EvShed, Program: p.Name, Detector: -1, Window: -1, Detail: "engine closed"})
 		return false
 	}
 	select {
 	case e.queue <- p:
+		e.ins.queueDepth.Inc()
+		e.tracer.Emit(obs.Event{Kind: obs.EvSubmit, Program: p.Name, Detector: -1, Window: -1})
 		return true
 	default:
-		e.ctr.programsShed.Add(1)
+		e.ins.shed.Inc()
+		e.tracer.Emit(obs.Event{Kind: obs.EvShed, Program: p.Name, Detector: -1, Window: -1, Detail: "queue full"})
 		return false
 	}
 }
@@ -204,20 +233,22 @@ func (e *Engine) Close() {
 	close(e.queue)
 }
 
-// Stats snapshots the engine's counters and per-detector health.
+// Stats snapshots the engine's counters and per-detector health. The
+// counters now live in the observability registry (the same numbers a
+// /metrics scrape sees); the snapshot's public shape is unchanged.
 func (e *Engine) Stats() Stats {
 	det, quar, rest := e.health.snapshot()
 	return Stats{
-		ProgramsProcessed: e.ctr.programs.Load(),
-		ProgramsShed:      e.ctr.programsShed.Load(),
-		ProgramsFailed:    e.ctr.programsFailed.Load(),
-		Windows:           e.ctr.windows.Load(),
-		Flagged:           e.ctr.flagged.Load(),
-		Degraded:          e.ctr.degraded.Load(),
-		DroppedWindows:    e.ctr.droppedWindows.Load(),
-		Retries:           e.ctr.retries.Load(),
-		Timeouts:          e.ctr.timeouts.Load(),
-		Panics:            e.ctr.panics.Load(),
+		ProgramsProcessed: e.ins.programs.Value(),
+		ProgramsShed:      e.ins.shed.Value(),
+		ProgramsFailed:    e.ins.failed.Value(),
+		Windows:           e.ins.windows.Value(),
+		Flagged:           e.ins.flagged.Value(),
+		Degraded:          e.ins.degraded.Value(),
+		DroppedWindows:    e.ins.dropped.Value(),
+		Retries:           e.ins.retries.Value(),
+		Timeouts:          e.ins.timeouts.Value(),
+		Panics:            e.ins.panics.Value(),
 		Quarantines:       quar,
 		Restores:          rest,
 		Detectors:         det,
@@ -235,11 +266,12 @@ func (e *Engine) worker(ctx context.Context) {
 			if !ok {
 				return
 			}
+			e.ins.queueDepth.Dec()
 			rep := e.process(ctx, p)
 			if rep.Err != nil {
-				e.ctr.programsFailed.Add(1)
+				e.ins.failed.Inc()
 			} else {
-				e.ctr.programs.Add(1)
+				e.ins.programs.Inc()
 			}
 			select {
 			case e.results <- rep:

@@ -1,0 +1,75 @@
+package monitor
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLivePoolCountsHalfOpenAsServing: a half-open detector receives
+// probe traffic, so it is serving, not dead — the survival report must
+// say so.
+func TestLivePoolCountsHalfOpenAsServing(t *testing.T) {
+	st := Stats{Detectors: []DetectorStats{
+		{Spec: "a", State: Closed},
+		{Spec: "b", State: HalfOpen},
+		{Spec: "c", State: Open},
+	}}
+	if got := st.LivePool(); got != 2 {
+		t.Fatalf("LivePool %d, want 2 (closed + half-open)", got)
+	}
+	if got := st.HalfOpen(); got != 1 {
+		t.Fatalf("HalfOpen %d, want 1", got)
+	}
+	if s := st.String(); !strings.Contains(s, "2/3 detectors live (1 half-open)") {
+		t.Fatalf("String does not surface half-open count:\n%s", s)
+	}
+}
+
+// TestStatsMarshalJSON: the snapshot is machine-readable — breaker
+// states as names, snake_case fields, and the derived pool rollup.
+func TestStatsMarshalJSON(t *testing.T) {
+	st := Stats{
+		ProgramsProcessed: 3,
+		Windows:           40,
+		Flagged:           7,
+		Quarantines:       1,
+		Detectors: []DetectorStats{
+			{Spec: "lr/instructions@2000", State: Closed, Calls: 30, Weight: 0.5, AvgLatency: 2 * time.Millisecond},
+			{Spec: "lr/memory@2000", State: HalfOpen, Calls: 10, Failures: 4},
+		},
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ProgramsProcessed uint64 `json:"programs_processed"`
+		Windows           uint64 `json:"windows"`
+		LivePool          int    `json:"live_pool"`
+		HalfOpenPool      int    `json:"half_open_pool"`
+		PoolSize          int    `json:"pool_size"`
+		Detectors         []struct {
+			Spec       string  `json:"spec"`
+			State      string  `json:"state"`
+			Weight     float64 `json:"weight"`
+			AvgLatency int64   `json:"avg_latency_ns"`
+		} `json:"detectors"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("unmarshal %s: %v", raw, err)
+	}
+	if got.ProgramsProcessed != 3 || got.Windows != 40 {
+		t.Fatalf("counters lost in JSON: %s", raw)
+	}
+	if got.LivePool != 2 || got.HalfOpenPool != 1 || got.PoolSize != 2 {
+		t.Fatalf("derived pool rollup wrong: %s", raw)
+	}
+	if got.Detectors[0].State != "closed" || got.Detectors[1].State != "half-open" {
+		t.Fatalf("states not marshalled as names: %s", raw)
+	}
+	if got.Detectors[0].AvgLatency != int64(2*time.Millisecond) {
+		t.Fatalf("avg latency %d", got.Detectors[0].AvgLatency)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rhmd/internal/features"
+	"rhmd/internal/obs"
 	"rhmd/internal/prog"
 )
 
@@ -21,11 +22,13 @@ var ErrDeadline = errors.New("monitor: window deadline exceeded")
 // converted into a program-level error so one poisoned trace cannot
 // take a worker down.
 func (e *Engine) process(ctx context.Context, p *prog.Program) (rep Report) {
+	started := time.Now()
 	rep = Report{Program: p.Name, Label: p.Label}
 	defer func() {
 		if r := recover(); r != nil {
-			e.ctr.panics.Add(1)
+			e.ins.panics.Inc()
 			rep.Err = fmt.Errorf("monitor: tracing %q panicked: %v", p.Name, r)
+			e.tracer.Emit(obs.Event{Kind: obs.EvPanic, Program: p.Name, Detector: -1, Window: -1, Detail: fmt.Sprint(r)})
 		}
 	}()
 
@@ -65,8 +68,12 @@ func (e *Engine) process(ctx context.Context, p *prog.Program) (rep Report) {
 	ws, err := features.ExtractScheduled(p, next, e.cfg.TraceLen)
 	if err != nil {
 		rep.Err = fmt.Errorf("monitor: extracting %q: %w", p.Name, err)
+		e.tracer.Emit(obs.Event{Kind: obs.EvExtract, Program: p.Name, Detector: -1, Window: -1,
+			Dur: time.Since(started), Detail: err.Error()})
 		return rep
 	}
+	e.tracer.Emit(obs.Event{Kind: obs.EvExtract, Program: p.Name, Detector: -1, Window: -1,
+		Dur: time.Since(started), Detail: fmt.Sprintf("%d windows", ws.Windows)})
 
 	for w := 0; w < ws.Windows; w++ {
 		idx := seq[w]
@@ -82,21 +89,30 @@ func (e *Engine) process(ctx context.Context, p *prog.Program) (rep Report) {
 		e.health.windowDone()
 		if !ok {
 			rep.Dropped++
-			e.ctr.droppedWindows.Add(1)
+			e.ins.dropped.Inc()
+			e.tracer.Emit(obs.Event{Kind: obs.EvDropped, Program: p.Name, Detector: idx, Window: w})
 			continue
 		}
 		rep.Windows++
-		e.ctr.windows.Add(1)
+		e.ins.windows.Inc()
 		if degraded {
 			rep.Degraded++
-			e.ctr.degraded.Add(1)
+			e.ins.degraded.Inc()
+			e.tracer.Emit(obs.Event{Kind: obs.EvDegraded, Program: p.Name, Detector: idx, Window: w})
 		}
 		if decision == 1 {
 			rep.Flagged++
-			e.ctr.flagged.Add(1)
+			e.ins.flagged.Inc()
 		}
 	}
 	rep.Malware = float64(rep.Flagged) >= float64(rep.Windows)/2 && rep.Windows > 0
+	verdict := "benign"
+	if rep.Malware {
+		verdict = "malware"
+	}
+	e.tracer.Emit(obs.Event{Kind: obs.EvVerdict, Program: p.Name, Detector: -1, Window: -1,
+		Dur: time.Since(started), Detail: fmt.Sprintf("%s: %d/%d flagged, %d degraded, %d dropped",
+			verdict, rep.Flagged, rep.Windows, rep.Degraded, rep.Dropped)})
 	return rep
 }
 
@@ -141,7 +157,8 @@ func (e *Engine) classify(ctx context.Context, p *prog.Program, ws *features.Win
 	var lastErr error
 	for attempt := 0; attempt <= e.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
-			e.ctr.retries.Add(1)
+			e.ins.retries.Inc()
+			e.tracer.Emit(obs.Event{Kind: obs.EvRetry, Program: p.Name, Detector: idx, Window: w, Attempt: attempt})
 			backoff := e.cfg.RetryBackoff << (attempt - 1)
 			select {
 			case <-time.After(backoff):
@@ -167,7 +184,9 @@ func (e *Engine) classify(ctx context.Context, p *prog.Program, ws *features.Win
 				return 0, err
 			}
 		case errors.Is(err, ErrDeadline):
-			e.ctr.timeouts.Add(1)
+			e.ins.timeouts.Inc()
+			e.tracer.Emit(obs.Event{Kind: obs.EvTimeout, Program: p.Name, Detector: idx, Window: w, Attempt: attempt,
+				Dur: e.cfg.WindowDeadline})
 		}
 	}
 	e.health.report(idx, false, time.Since(start))
@@ -187,7 +206,9 @@ func (e *Engine) classifyOnce(ctx context.Context, fc FaultContext, score func([
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
-				e.ctr.panics.Add(1)
+				e.ins.panics.Inc()
+				e.tracer.Emit(obs.Event{Kind: obs.EvPanic, Program: fc.ProgName, Detector: fc.Detector,
+					Window: fc.Window, Attempt: fc.Attempt, Detail: fmt.Sprint(r)})
 				ch <- outcome{err: fmt.Errorf("monitor: detector %d panicked: %v", fc.Detector, r)}
 			}
 		}()

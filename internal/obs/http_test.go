@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestListenAndServe boots the real server on an ephemeral port — the
+// exact path cmd/rhmd-monitor takes — scrapes it, and shuts it down.
+func TestListenAndServe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lns_total", "listen-and-serve smoke").Add(7)
+	tr := NewTracer(8)
+	tr.Emit(Event{Kind: EvSubmit, Program: "p", Detector: -1, Window: -1})
+
+	addr, shutdown, err := ListenAndServe("127.0.0.1:0", r, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	for path, want := range map[string]string{
+		"/metrics": "lns_total 7",
+		"/traces":  `"kind": "submit"`,
+		"/healthz": "ok",
+	} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 || !strings.Contains(string(body), want) {
+			t.Fatalf("GET %s: status %d, body %q (want substring %q)", path, resp.StatusCode, body, want)
+		}
+	}
+}
+
+// TestListenAndServeBadAddr surfaces listen failures instead of
+// crashing the CLI later.
+func TestListenAndServeBadAddr(t *testing.T) {
+	if _, _, err := ListenAndServe("256.0.0.1:bogus", NewRegistry(), nil); err == nil {
+		t.Fatal("expected error for unlistenable address")
+	}
+}
