@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race bench fuzz check clean
+.PHONY: all fmt vet build test race bench fuzz crashtest check clean
 
 all: check
 
@@ -29,6 +29,12 @@ bench:
 # via plain `go test`, this target digs deeper locally.
 fuzz:
 	$(GO) test -run FuzzLoadRHMD -fuzz FuzzLoadRHMD -fuzztime 30s ./internal/core/
+	$(GO) test -run FuzzLoadCheckpoint -fuzz FuzzLoadCheckpoint -fuzztime 30s ./internal/checkpoint/
+
+# Durability suite: every-byte-boundary crash injection, corruption
+# fallback, and the SIGKILL-and-restart recovery test, under -race.
+crashtest:
+	$(GO) test -race -run 'Crash|Corrupt|Kill|Torn|Fallback|Trailer' -v ./internal/checkpoint/ ./internal/monitor/
 
 check: fmt vet build race
 

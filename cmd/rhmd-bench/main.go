@@ -19,8 +19,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"rhmd/internal/experiments"
@@ -36,13 +38,22 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address while the suite runs (e.g. :9090)")
 	flag.Parse()
 
+	// A SIGINT/SIGTERM finishes the in-flight experiment, then stops the
+	// suite cleanly (partial results and CSVs already written stay valid).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *metricsAddr != "" {
 		addr, shutdown, err := obs.ListenAndServe(*metricsAddr, obs.Default(), nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer shutdown(context.Background())
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			shutdown(sctx)
+		}()
 		fmt.Printf("observability endpoint on http://%s (/metrics, /debug/pprof)\n", addr)
 	}
 
@@ -92,6 +103,10 @@ func main() {
 	}
 
 	for _, x := range list2 {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "interrupted: stopping before", x.ID)
+			break
+		}
 		t0 := time.Now()
 		tables, err := x.Run(env)
 		if err != nil {

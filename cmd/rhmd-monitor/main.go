@@ -23,10 +23,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"rhmd/internal/checkpoint"
 	"rhmd/internal/core"
 	"rhmd/internal/dataset"
 	"rhmd/internal/features"
@@ -54,6 +57,8 @@ func main() {
 	traceCap := flag.Int("trace-cap", 4096, "event ring capacity for -trace-out and /traces")
 	snapshotEvery := flag.Duration("snapshot-every", 0, "log a one-line stats snapshot to stderr at this interval (0 = off)")
 	jsonOut := flag.Bool("json", false, "print the survival report as JSON instead of text")
+	ckptDir := flag.String("checkpoint-dir", "", "durable checkpoint directory: verdicts are write-ahead-logged, snapshots taken periodically, and a previous run's state is restored on start")
+	ckptEvery := flag.Duration("checkpoint-every", 2*time.Second, "periodic snapshot interval (with -checkpoint-dir)")
 	flag.Parse()
 
 	// In -json mode stdout carries exactly one JSON document; everything
@@ -90,29 +95,75 @@ func main() {
 	check(err)
 
 	var tracer *obs.Tracer
-	if *traceOut != "" || *metricsAddr != "" {
+	if *traceOut != "" || *metricsAddr != "" || *ckptDir != "" {
 		tracer = obs.NewTracer(*traceCap)
 	}
+	var store *checkpoint.Store
+	if *ckptDir != "" {
+		store, err = checkpoint.Open(*ckptDir, checkpoint.Options{})
+		check(err)
+		defer store.Close()
+		// Black-box recorder: if anything below panics or fails fatally,
+		// the trace ring is flushed next to the checkpoints first.
+		defer checkpoint.RecoverDump(*ckptDir, tracer)
+		dir := *ckptDir
+		onFatal = func() { checkpoint.DumpTrace(dir, tracer) }
+	}
 	e, err := monitor.New(r, monitor.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		TraceLen:       *traceLen,
-		WindowDeadline: *deadline,
-		ProbeAfter:     *probeAfter,
-		Injector:       injector,
-		Tracer:         tracer,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		TraceLen:        *traceLen,
+		WindowDeadline:  *deadline,
+		ProbeAfter:      *probeAfter,
+		Injector:        injector,
+		Tracer:          tracer,
+		Checkpoint:      store,
+		CheckpointEvery: *ckptEvery,
 	})
 	check(err)
+
+	if store != nil {
+		restored, err := e.Restore()
+		check(err)
+		if restored != nil {
+			st := e.Stats()
+			fmt.Fprintf(info, "restored checkpoint gen %d (%d WAL entries replayed, %d corrupt generations skipped): %d programs, %d windows\n",
+				restored.Gen, restored.Replayed, restored.Fallbacks,
+				st.ProgramsProcessed+st.ProgramsFailed, st.Windows)
+		}
+	}
 
 	if *metricsAddr != "" {
 		addr, shutdown, err := obs.ListenAndServe(*metricsAddr, e.Registry(), tracer)
 		check(err)
-		defer shutdown(context.Background())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			shutdown(ctx)
+		}()
 		fmt.Fprintf(info, "observability endpoint on http://%s (/metrics, /traces, /debug/pprof)\n", addr)
 	}
 
+	// Graceful shutdown: the first SIGINT/SIGTERM stops submissions and
+	// drains the queue (the engine flushes a final checkpoint generation
+	// after the drain); a second signal cancels the worker context and
+	// aborts in-flight programs.
+	workerCtx, hardStop := context.WithCancel(context.Background())
+	defer hardStop()
+	stopping := make(chan struct{})
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "shutdown: draining queue (signal again to abort in-flight work)")
+		close(stopping)
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "shutdown: aborting")
+		hardStop()
+	}()
+
 	start := time.Now()
-	e.Start(context.Background())
+	e.Start(workerCtx)
 
 	if *snapshotEvery > 0 {
 		stop := make(chan struct{})
@@ -134,14 +185,23 @@ func main() {
 		}()
 	}
 	go func() {
+		defer e.Close()
 		for _, p := range stream {
 			for !e.Submit(p) {
 				// Backpressure: the monitor shed this submission; a real
 				// host would drop or defer, the demo politely retries.
-				time.Sleep(time.Millisecond)
+				select {
+				case <-stopping:
+					return
+				case <-time.After(time.Millisecond):
+				}
+			}
+			select {
+			case <-stopping:
+				return
+			default:
 			}
 		}
-		e.Close()
 	}()
 
 	correct, total := 0, 0
@@ -290,9 +350,16 @@ func parseInjector(inject, until string, rate float64, deadline time.Duration, s
 	return in, nil
 }
 
+// onFatal, when set, flushes the black-box trace dump before a fatal
+// exit (deferred handlers don't run through os.Exit).
+var onFatal func()
+
 func check(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		if onFatal != nil {
+			onFatal()
+		}
 		os.Exit(1)
 	}
 }

@@ -68,10 +68,7 @@ func main() {
 		check(err)
 		fmt.Printf("trained %s\n", r)
 		if *saveTo != "" {
-			f, err := os.Create(*saveTo)
-			check(err)
-			check(core.SaveRHMD(f, r))
-			check(f.Close())
+			check(core.SaveRHMDFile(*saveTo, r))
 			fmt.Printf("saved RHMD to %s\n", *saveTo)
 		}
 
@@ -105,11 +102,9 @@ func main() {
 
 	var d *hmd.Detector
 	if *loadFrom != "" {
-		f, err := os.Open(*loadFrom)
+		var err error
+		d, err = hmd.LoadFile(*loadFrom)
 		check(err)
-		d, err = hmd.Load(f)
-		check(err)
-		check(f.Close())
 		fmt.Printf("loaded %s from %s\n", d.Spec, *loadFrom)
 	} else {
 		kind, err := features.ParseKind(*feature)
@@ -121,10 +116,7 @@ func main() {
 		check(err)
 	}
 	if *saveTo != "" {
-		f, err := os.Create(*saveTo)
-		check(err)
-		check(hmd.Save(f, d))
-		check(f.Close())
+		check(hmd.SaveFile(*saveTo, d))
 		fmt.Printf("saved detector to %s\n", *saveTo)
 	}
 	testW, err := dataset.ExtractWindows(test, d.Spec.Period, *traceLen)

@@ -1,0 +1,80 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rhmd/internal/obs"
+)
+
+// TestRecoverDumpFlushesParseableTrace simulates a panic unwinding
+// through the black-box recorder and checks the drained ring is valid,
+// complete JSON afterwards — the whole point of a flight recorder is
+// that it is readable after the crash.
+func TestRecoverDumpFlushesParseableTrace(t *testing.T) {
+	dir := t.TempDir()
+	tr := obs.NewTracer(16)
+	tr.Emit(obs.Event{Kind: obs.EvSubmit, Program: "victim", Detector: -1, Window: -1})
+	tr.Emit(obs.Event{Kind: obs.EvWindow, Program: "victim", Detector: 2, Window: 0})
+
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("RecoverDump swallowed the panic")
+			} else if r != "poisoned trace" {
+				t.Fatalf("panic value changed: %v", r)
+			}
+		}()
+		func() {
+			defer RecoverDump(dir, tr)
+			panic("poisoned trace")
+		}()
+	}()
+
+	data, err := os.ReadFile(filepath.Join(dir, BlackBoxFile))
+	if err != nil {
+		t.Fatalf("black-box file missing: %v", err)
+	}
+	var events []obs.Event
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("black-box dump is not parseable JSON: %v", err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("dump has %d events, want the 2 emitted plus the panic record", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Kind != obs.EvPanic || last.Detail != "poisoned trace" {
+		t.Fatalf("panic record missing from dump tail: %+v", last)
+	}
+}
+
+// TestRecoverDumpNoPanicIsNoOp: a clean return must not write anything.
+func TestRecoverDumpNoPanicIsNoOp(t *testing.T) {
+	dir := t.TempDir()
+	func() {
+		defer RecoverDump(dir, obs.NewTracer(4))
+	}()
+	if _, err := os.Stat(filepath.Join(dir, BlackBoxFile)); !os.IsNotExist(err) {
+		t.Fatalf("black-box file written on clean return (stat err %v)", err)
+	}
+}
+
+// TestDumpTraceNilTracer: the disabled-tracing path still produces a
+// valid (empty) recording rather than crashing the crash handler.
+func TestDumpTraceNilTracer(t *testing.T) {
+	dir := t.TempDir()
+	path, err := DumpTrace(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []obs.Event
+	if err := json.Unmarshal(data, &events); err != nil || len(events) != 0 {
+		t.Fatalf("nil-tracer dump %q (err %v), want empty array", data, err)
+	}
+}

@@ -1,0 +1,133 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// corruptFile applies mutate to a file's bytes in place.
+func corruptFile(t *testing.T, path string, mutate func([]byte) []byte) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func flipByte(data []byte) []byte {
+	out := append([]byte(nil), data...)
+	out[len(out)/2] ^= 0x40
+	return out
+}
+
+func truncateHalf(data []byte) []byte { return append([]byte(nil), data[:len(data)/2]...) }
+
+func badMagic(data []byte) []byte {
+	out := append([]byte(nil), data...)
+	copy(out[:4], "XXXX")
+	return out
+}
+
+// staleGen rewrites the header's generation field, simulating a
+// snapshot file renamed or copied over the wrong generation slot.
+func staleGen(data []byte) []byte {
+	out := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint64(out[5:13], 9999)
+	return out
+}
+
+func emptyFile([]byte) []byte { return nil }
+
+// TestCorruptNewestSnapshotFallsBack is the table-driven corruption
+// suite: whatever happens to the newest snapshot — torn write, bit rot,
+// wrong magic, stale generation header, zero-length file — Restore must
+// fall back to the last good generation rather than error out, and
+// count the fallback.
+func TestCorruptNewestSnapshotFallsBack(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"truncated file", truncateHalf},
+		{"flipped byte", flipByte},
+		{"bad magic", badMagic},
+		{"stale generation", staleGen},
+		{"empty file", emptyFile},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustSave(t, s, "good")
+			mustAppend(t, s, KindVerdict, "good-entry")
+			mustSave(t, s, "newest")
+			mustAppend(t, s, KindVerdict, "newest-entry")
+			s.Close()
+			corruptFile(t, filepath.Join(dir, snapName(2)), c.mutate)
+
+			s2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s2.Restore()
+			if err != nil {
+				t.Fatalf("restore with corrupt newest snapshot errored out: %v", err)
+			}
+			if res.Gen != 1 || string(res.Snapshot) != "good" {
+				t.Fatalf("restored gen %d %q, want the last good generation", res.Gen, res.Snapshot)
+			}
+			if res.Fallbacks != 1 {
+				t.Fatalf("fallbacks = %d, want 1", res.Fallbacks)
+			}
+			if got := entryStrings(res.Entries); len(got) != 1 || got[0] != "good-entry" {
+				t.Fatalf("replayed entries %v, want the good generation's WAL", got)
+			}
+		})
+	}
+}
+
+// TestCorruptWALHeaderDegradesToSnapshot: a WAL whose header fails
+// validation contributes nothing, but the snapshot it annotated is
+// still a consistent state.
+func TestCorruptWALHeaderDegradesToSnapshot(t *testing.T) {
+	for _, c := range []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", badMagic},
+		{"stale generation", staleGen},
+		{"truncated header", func(d []byte) []byte { return d[:5] }},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustSave(t, s, "base")
+			mustAppend(t, s, KindVerdict, "v1")
+			s.Close()
+			corruptFile(t, filepath.Join(dir, walName(1)), c.mutate)
+
+			s2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s2.Restore()
+			if err != nil {
+				t.Fatalf("restore errored: %v", err)
+			}
+			if string(res.Snapshot) != "base" || len(res.Entries) != 0 {
+				t.Fatalf("restored %q with %d entries, want bare snapshot", res.Snapshot, len(res.Entries))
+			}
+		})
+	}
+}

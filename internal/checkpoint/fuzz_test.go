@@ -1,0 +1,67 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoadCheckpoint is the decoding guard for the durability layer
+// (mirror of core's FuzzLoadRHMD): whatever bytes land in the snapshot
+// and WAL slots — torn writes, bit rot, hostile edits — Restore must
+// return a clean result or error, never panic, and a fabricated newest
+// snapshot must never shadow a valid older generation.
+func FuzzLoadCheckpoint(f *testing.F) {
+	f.Add(encodeSnapshot(2, []byte("state")), appendHeader(nil, walMagic, 2))
+	f.Add(encodeSnapshot(2, nil), appendRecord(appendHeader(nil, walMagic, 2), KindVerdict, []byte("v")))
+	f.Add([]byte(nil), []byte(nil))
+	f.Add([]byte("RHSN"), []byte("RHWL"))
+	f.Add(encodeSnapshot(9, []byte("wrong-gen")), appendHeader(nil, walMagic, 9))
+	long := appendHeader(nil, walMagic, 2)
+	for i := 0; i < 4; i++ {
+		long = appendRecord(long, KindBreaker, []byte{byte(i)})
+	}
+	f.Add(encodeSnapshot(2, []byte("s"))[:10], long[:len(long)-3])
+
+	f.Fuzz(func(t *testing.T, snap, wal []byte) {
+		dir := t.TempDir()
+		// A known-good older generation sits underneath the fuzzed one:
+		// decoding garbage must fall back to it, not corrupt it.
+		good, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := good.Save([]byte("good")); err != nil {
+			t.Fatal(err)
+		}
+		good.Close()
+		if err := os.WriteFile(filepath.Join(dir, snapName(2)), snap, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, walName(2)), wal, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		s, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Restore()
+		if err != nil {
+			t.Fatalf("restore must fall back to the good generation, got error: %v", err)
+		}
+		switch string(res.Snapshot) {
+		case "good":
+			if res.Gen != 1 {
+				t.Fatalf("good payload restored under generation %d", res.Gen)
+			}
+		default:
+			// The fuzzer may construct a genuinely valid generation-2
+			// snapshot; anything else leaking through is a bug.
+			if payload, derr := decodeSnapshot(snap, 2); derr != nil || string(payload) != string(res.Snapshot) {
+				t.Fatalf("restored snapshot %q matches neither the good generation nor a valid fuzzed one (decode err %v)",
+					res.Snapshot, derr)
+			}
+		}
+	})
+}

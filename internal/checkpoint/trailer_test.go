@@ -1,0 +1,65 @@
+package checkpoint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTrailerRoundTrip(t *testing.T) {
+	payload := []byte("{\"a\": 1}\n")
+	sealed := SealTrailer(payload)
+	if !bytes.HasPrefix(sealed, payload) {
+		t.Fatal("sealing must not modify the payload")
+	}
+	body, ok, err := VerifyTrailer(sealed)
+	if err != nil || !ok {
+		t.Fatalf("verify sealed: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(body, payload) {
+		t.Fatalf("body %q != payload %q", body, payload)
+	}
+}
+
+func TestTrailerLegacyPassthrough(t *testing.T) {
+	legacy := []byte("{\"a\": 1}\n")
+	body, ok, err := VerifyTrailer(legacy)
+	if err != nil || ok {
+		t.Fatalf("legacy data: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(body, legacy) {
+		t.Fatal("legacy data must pass through unchanged")
+	}
+}
+
+func TestTrailerDetectsCorruption(t *testing.T) {
+	sealed := SealTrailer([]byte("{\"weights\": [1, 2, 3]}\n"))
+	for i := 0; i < len(sealed)-13; i++ { // every payload byte (trailer hex itself tested below)
+		mut := append([]byte{}, sealed...)
+		mut[i] ^= 0x01
+		if _, ok, err := VerifyTrailer(mut); ok && err == nil {
+			t.Fatalf("flip at byte %d went undetected", i)
+		}
+	}
+}
+
+func TestTrailerBadHexIsLegacy(t *testing.T) {
+	data := []byte("x\n" + "#rhmd-crc32:zzzzzzzz\n")
+	if _, ok, err := VerifyTrailer(data); ok || err != nil {
+		t.Fatalf("unparseable trailer hex: ok=%v err=%v, want legacy passthrough", ok, err)
+	}
+}
+
+func TestTrailerPrefixInsidePayloadIgnored(t *testing.T) {
+	// The marker appearing mid-payload (e.g. inside a JSON string) must
+	// not be mistaken for a trailer once a real one is appended.
+	payload := []byte("{\"note\": \"#rhmd-crc32:deadbeef\"}\n")
+	sealed := SealTrailer(payload)
+	body, ok, err := VerifyTrailer(sealed)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if !strings.Contains(string(body), "deadbeef") {
+		t.Fatal("payload truncated at the embedded marker")
+	}
+}

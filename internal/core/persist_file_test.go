@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRHMDFileRoundTrip(t *testing.T) {
+	f := getFixture(t)
+	orig, err := New(f.pool, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rhmd.json")
+	if err := SaveRHMDFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRHMDFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != orig.Key || got.Size() != orig.Size() {
+		t.Fatalf("round trip changed pool: key %d→%d, size %d→%d", orig.Key, got.Key, orig.Size(), got.Size())
+	}
+	// The switching schedule is keyed and deterministic: identical pools
+	// must produce identical decisions.
+	p := f.atkTest[0]
+	a, err := orig.DetectTraced(p, f.traceLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.DetectTraced(p, f.traceLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("restored RHMD decides differently")
+	}
+}
+
+func TestLoadRHMDFileDetectsFlippedByte(t *testing.T) {
+	f := getFixture(t)
+	orig, err := New(f.pool, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rhmd.json")
+	if err := SaveRHMDFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRHMDFile(path); err == nil || !strings.Contains(err.Error(), "crc32") {
+		t.Fatalf("flipped byte load error = %v, want crc32 mismatch", err)
+	}
+}
+
+func TestLoadRHMDFileReadsLegacyUnsealed(t *testing.T) {
+	f := getFixture(t)
+	orig, err := New(f.pool, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveRHMD(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rhmd.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRHMDFile(path)
+	if err != nil {
+		t.Fatalf("legacy file rejected: %v", err)
+	}
+	if got.Key != orig.Key {
+		t.Fatal("legacy load changed the key")
+	}
+}

@@ -1,0 +1,361 @@
+package monitor
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"rhmd/internal/checkpoint"
+	"rhmd/internal/core"
+	"rhmd/internal/obs"
+)
+
+// Durability. The paper's RHMD lives in hardware, where the detector's
+// state — switching weights, quarantine status, cumulative accounting —
+// survives power events. This file gives the software engine the same
+// property through internal/checkpoint: a periodic snapshot of the
+// engine's state plus a write-ahead log of the events between
+// snapshots.
+//
+// The recovery contract, enforced by the crash-injection and
+// kill-restart tests:
+//
+//   - every verdict the engine has delivered (a Report handed to the
+//     Results consumer) is durable before it is visible: the WAL append
+//     is fsynced before the report is sent, so a consumer-observed
+//     count is always recoverable;
+//   - every breaker transition that changed the live pool (quarantine
+//     or restore, with its weight renormalization) is WAL-logged, so a
+//     restored engine resumes with the same degraded switching
+//     distribution it died with;
+//   - restore rebuilds cumulative Stats, breaker states and the live
+//     sampler exactly as snapshot + replay; only sub-verdict detail
+//     (per-detector latency histograms, retry counters since the last
+//     snapshot) is approximate, restored to the snapshot's values.
+//
+// Exactness comes from ckptMu: verdict commits and breaker transitions
+// take it shared (increment counters + append WAL as one unit), the
+// snapshot capture takes it exclusive (capture state + rotate WAL as
+// one unit). An event is therefore in the snapshot or in the replayed
+// WAL — never both, never neither.
+
+// engineStateVersion guards the snapshot payload schema.
+const engineStateVersion = 1
+
+// EngineState is the engine's serializable state: everything Restore
+// needs to resume a crashed monitor — cumulative counters, the breaker
+// board, the pool-window clock — keyed to the pool it belongs to by
+// Fingerprint.
+type EngineState struct {
+	Version     int    `json:"version"`
+	Fingerprint uint64 `json:"fingerprint"`
+	SavedUnix   int64  `json:"saved_unix"`
+
+	// WindowClock is the pool-wide processed-window counter that drives
+	// probe cooldowns.
+	WindowClock uint64       `json:"window_clock"`
+	Counters    CounterState `json:"counters"`
+	Quarantines uint64       `json:"quarantines"`
+	Restores    uint64       `json:"restores"`
+
+	Breakers []BreakerSnapshot `json:"breakers"`
+}
+
+// CounterState mirrors the scalar counters of Stats.
+type CounterState struct {
+	Programs uint64 `json:"programs"`
+	Shed     uint64 `json:"shed"`
+	Failed   uint64 `json:"failed"`
+	Windows  uint64 `json:"windows"`
+	Flagged  uint64 `json:"flagged"`
+	Degraded uint64 `json:"degraded"`
+	Dropped  uint64 `json:"dropped"`
+	Retries  uint64 `json:"retries"`
+	Timeouts uint64 `json:"timeouts"`
+	Panics   uint64 `json:"panics"`
+}
+
+// BreakerSnapshot is one detector's persisted breaker state.
+type BreakerSnapshot struct {
+	State       BreakerState `json:"state"`
+	ConsecFails int          `json:"consec_fails"`
+	OpenedAt    uint64       `json:"opened_at"`
+	Calls       uint64       `json:"calls"`
+	Failures    uint64       `json:"failures"`
+	LatencyNs   int64        `json:"latency_ns"`
+}
+
+// walVerdict is the WAL payload for one completed program.
+type walVerdict struct {
+	Failed   bool `json:"failed,omitempty"`
+	Malware  bool `json:"malware,omitempty"`
+	Windows  int  `json:"windows"`
+	Flagged  int  `json:"flagged"`
+	Degraded int  `json:"degraded"`
+	Dropped  int  `json:"dropped"`
+}
+
+// walBreaker is the WAL payload for one live-set transition.
+type walBreaker struct {
+	Detector int  `json:"detector"`
+	Restore  bool `json:"restore"` // false = quarantine
+}
+
+// RestoreInfo summarizes what Engine.Restore recovered.
+type RestoreInfo struct {
+	// Gen is the snapshot generation restored (0 = WAL-only recovery
+	// from a crash before the first snapshot).
+	Gen uint64
+	// Replayed is the number of WAL entries applied on top of the
+	// snapshot.
+	Replayed int
+	// Fallbacks counts corrupt newer snapshot generations skipped.
+	Fallbacks int
+	// TornWAL reports a crash mid-append was detected (and cut).
+	TornWAL bool
+}
+
+func (ri *RestoreInfo) String() string {
+	return fmt.Sprintf("checkpoint generation %d, %d WAL entries replayed, %d corrupt generations skipped",
+		ri.Gen, ri.Replayed, ri.Fallbacks)
+}
+
+// poolFingerprint identifies a trained pool + switching policy, so a
+// checkpoint is never restored into an engine serving a different pool.
+func poolFingerprint(r *core.RHMD) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "key=%d n=%d;", r.Key, r.Size())
+	for i, d := range r.Detectors {
+		fmt.Fprintf(h, "%d:%s:%016x;", i, d.Spec, math.Float64bits(r.Probs[i]))
+	}
+	return h.Sum64()
+}
+
+// SnapshotState captures the engine's durable state. Callers that need
+// snapshot/WAL exactness hold ckptMu exclusively around it (Checkpoint
+// does); bare calls get a point-in-time read that may interleave with
+// in-flight verdicts.
+func (e *Engine) SnapshotState() *EngineState {
+	breakers, clock, quar, rest := e.health.exportState()
+	return &EngineState{
+		Version:     engineStateVersion,
+		Fingerprint: poolFingerprint(e.rhmd),
+		SavedUnix:   time.Now().Unix(),
+		WindowClock: clock,
+		Counters: CounterState{
+			Programs: e.ins.programs.Value(),
+			Shed:     e.ins.shed.Value(),
+			Failed:   e.ins.failed.Value(),
+			Windows:  e.ins.windows.Value(),
+			Flagged:  e.ins.flagged.Value(),
+			Degraded: e.ins.degraded.Value(),
+			Dropped:  e.ins.dropped.Value(),
+			Retries:  e.ins.retries.Value(),
+			Timeouts: e.ins.timeouts.Value(),
+			Panics:   e.ins.panics.Value(),
+		},
+		Quarantines: quar,
+		Restores:    rest,
+		Breakers:    breakers,
+	}
+}
+
+// Checkpoint flushes a snapshot generation now. It is a no-op without a
+// configured store. Safe to call concurrently with traffic: verdict
+// commits are excluded for the duration of the capture + WAL rotation.
+func (e *Engine) Checkpoint() (uint64, error) {
+	if e.ckpt == nil {
+		return 0, nil
+	}
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	payload, err := json.Marshal(e.SnapshotState())
+	if err != nil {
+		return 0, fmt.Errorf("monitor: encoding checkpoint: %w", err)
+	}
+	return e.ckpt.Save(payload)
+}
+
+// Restore rebuilds the engine from its checkpoint store: the newest
+// valid snapshot generation plus the replayed WAL. Must be called
+// before Start, on a freshly constructed engine. It returns (nil, nil)
+// when the store holds no state — a fresh deployment.
+func (e *Engine) Restore() (*RestoreInfo, error) {
+	if e.ckpt == nil {
+		return nil, fmt.Errorf("monitor: Restore needs a Checkpoint store in the engine config")
+	}
+	e.mu.Lock()
+	started := e.started
+	e.mu.Unlock()
+	if started {
+		return nil, fmt.Errorf("monitor: Restore must run before Start")
+	}
+
+	res, err := e.ckpt.Restore()
+	if err != nil {
+		if err == checkpoint.ErrNoCheckpoint {
+			return nil, nil
+		}
+		return nil, err
+	}
+
+	if res.Snapshot != nil {
+		var st EngineState
+		if err := json.Unmarshal(res.Snapshot, &st); err != nil {
+			return nil, fmt.Errorf("monitor: decoding checkpoint snapshot: %w", err)
+		}
+		if err := e.applySnapshot(&st); err != nil {
+			return nil, err
+		}
+	}
+	for _, entry := range res.Entries {
+		if err := e.applyEntry(entry); err != nil {
+			return nil, err
+		}
+	}
+	e.health.republish()
+	return &RestoreInfo{Gen: res.Gen, Replayed: len(res.Entries), Fallbacks: res.Fallbacks, TornWAL: res.TornWAL}, nil
+}
+
+// applySnapshot loads a decoded snapshot into the (zero-state) engine.
+func (e *Engine) applySnapshot(st *EngineState) error {
+	if st.Version != engineStateVersion {
+		return fmt.Errorf("monitor: checkpoint state version %d (want %d)", st.Version, engineStateVersion)
+	}
+	if fp := poolFingerprint(e.rhmd); st.Fingerprint != fp {
+		return fmt.Errorf("monitor: checkpoint belongs to a different pool (fingerprint %016x, engine %016x)",
+			st.Fingerprint, fp)
+	}
+	if len(st.Breakers) != e.rhmd.Size() {
+		return fmt.Errorf("monitor: checkpoint has %d breakers for a pool of %d", len(st.Breakers), e.rhmd.Size())
+	}
+	c := st.Counters
+	e.ins.programs.Add(c.Programs)
+	e.ins.shed.Add(c.Shed)
+	e.ins.failed.Add(c.Failed)
+	e.ins.windows.Add(c.Windows)
+	e.ins.flagged.Add(c.Flagged)
+	e.ins.degraded.Add(c.Degraded)
+	e.ins.dropped.Add(c.Dropped)
+	e.ins.retries.Add(c.Retries)
+	e.ins.timeouts.Add(c.Timeouts)
+	e.ins.panics.Add(c.Panics)
+	return e.health.restoreState(st.Breakers, st.WindowClock, st.Quarantines, st.Restores)
+}
+
+// applyEntry replays one WAL record on top of the snapshot state.
+func (e *Engine) applyEntry(entry checkpoint.Entry) error {
+	switch entry.Kind {
+	case checkpoint.KindVerdict:
+		var v walVerdict
+		if err := json.Unmarshal(entry.Payload, &v); err != nil {
+			return fmt.Errorf("monitor: decoding WAL verdict: %w", err)
+		}
+		if v.Failed {
+			e.ins.failed.Inc()
+		} else {
+			e.ins.programs.Inc()
+		}
+		e.ins.windows.Add(uint64(v.Windows))
+		e.ins.flagged.Add(uint64(v.Flagged))
+		e.ins.degraded.Add(uint64(v.Degraded))
+		e.ins.dropped.Add(uint64(v.Dropped))
+		e.health.advanceClock(uint64(v.Windows + v.Dropped))
+	case checkpoint.KindBreaker:
+		var b walBreaker
+		if err := json.Unmarshal(entry.Payload, &b); err != nil {
+			return fmt.Errorf("monitor: decoding WAL breaker entry: %w", err)
+		}
+		if b.Detector < 0 || b.Detector >= e.rhmd.Size() {
+			return fmt.Errorf("monitor: WAL breaker entry for detector %d of %d", b.Detector, e.rhmd.Size())
+		}
+		e.health.applyTransition(b.Detector, b.Restore)
+	default:
+		// Unknown kinds are skipped, not fatal: a newer writer may log
+		// event kinds an older reader does not know.
+	}
+	return nil
+}
+
+// commitVerdict applies a finished program's accounting and durably
+// logs it, as one unit relative to snapshot capture. Every window of
+// the program lands in a bucket whether or not the program failed
+// mid-trace; the program itself lands in processed or failed.
+func (e *Engine) commitVerdict(rep Report) {
+	e.ckptMu.RLock()
+	defer e.ckptMu.RUnlock()
+	e.ins.windows.Add(uint64(rep.Windows))
+	e.ins.flagged.Add(uint64(rep.Flagged))
+	e.ins.degraded.Add(uint64(rep.Degraded))
+	e.ins.dropped.Add(uint64(rep.Dropped))
+	if rep.Err != nil {
+		e.ins.failed.Inc()
+	} else {
+		e.ins.programs.Inc()
+	}
+	if e.ckpt == nil {
+		return
+	}
+	payload, err := json.Marshal(walVerdict{
+		Failed:   rep.Err != nil,
+		Malware:  rep.Malware,
+		Windows:  rep.Windows,
+		Flagged:  rep.Flagged,
+		Degraded: rep.Degraded,
+		Dropped:  rep.Dropped,
+	})
+	if err == nil {
+		err = e.ckpt.Append(checkpoint.KindVerdict, payload)
+	}
+	if err != nil {
+		// A failed append costs durability of this one verdict, not the
+		// engine: surface it on the trace and keep serving.
+		e.tracer.Emit(obs.Event{Kind: obs.EvCheckpointSave, Program: rep.Program, Detector: -1, Window: -1,
+			Detail: fmt.Sprintf("WAL append failed: %v", err)})
+	}
+}
+
+// commitTransition runs the breaker state machine for one
+// classification outcome and durably logs any live-set change, as one
+// unit relative to snapshot capture.
+func (e *Engine) commitTransition(idx int, ok bool, latency time.Duration) {
+	e.ckptMu.RLock()
+	defer e.ckptMu.RUnlock()
+	quarantined, restored := e.health.report(idx, ok, latency)
+	if e.ckpt == nil || (!quarantined && !restored) {
+		return
+	}
+	payload, err := json.Marshal(walBreaker{Detector: idx, Restore: restored})
+	if err == nil {
+		err = e.ckpt.Append(checkpoint.KindBreaker, payload)
+	}
+	if err != nil {
+		e.tracer.Emit(obs.Event{Kind: obs.EvCheckpointSave, Detector: idx, Window: -1,
+			Detail: fmt.Sprintf("WAL append failed: %v", err)})
+	}
+}
+
+// checkpointLoop periodically flushes snapshots until the engine
+// drains or ctx is cancelled. The final snapshot is written by the
+// drain path itself (see Start), so a graceful shutdown always ends on
+// a fresh generation.
+func (e *Engine) checkpointLoop(ctx context.Context, every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-e.done:
+			return
+		case <-tick.C:
+			if _, err := e.Checkpoint(); err != nil {
+				e.tracer.Emit(obs.Event{Kind: obs.EvCheckpointSave, Detector: -1, Window: -1,
+					Detail: fmt.Sprintf("periodic save failed: %v", err)})
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -271,6 +272,100 @@ func (b *healthBoard) report(idx int, ok bool, latency time.Duration) (quarantin
 		}
 	}
 	return false, false
+}
+
+// exportState copies the board into persistable form for a checkpoint:
+// per-detector breaker snapshots, the window clock, and the transition
+// totals.
+func (b *healthBoard) exportState() ([]BreakerSnapshot, uint64, uint64, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]BreakerSnapshot, len(b.breakers))
+	for i := range b.breakers {
+		br := &b.breakers[i]
+		out[i] = BreakerSnapshot{
+			State:       br.state,
+			ConsecFails: br.consecFails,
+			OpenedAt:    br.openedAt,
+			Calls:       br.calls,
+			Failures:    br.failures,
+			LatencyNs:   br.latencyNs,
+		}
+	}
+	return out, b.windows, b.quarantines, b.restores
+}
+
+// restoreState loads a checkpointed board into a fresh one: breaker
+// states, the window clock, transition totals — then rebuilds the live
+// sampler over the restored states. A persisted HalfOpen breaker comes
+// back Open: its probe window died with the process, and cancelProbe
+// semantics apply (the detector stays probe-eligible).
+func (b *healthBoard) restoreState(brs []BreakerSnapshot, windows, quarantines, restores uint64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(brs) != len(b.breakers) {
+		return fmt.Errorf("monitor: restoring %d breakers into a pool of %d", len(brs), len(b.breakers))
+	}
+	for i, snap := range brs {
+		st := snap.State
+		if st != Closed && st != Open && st != HalfOpen {
+			return fmt.Errorf("monitor: restoring breaker %d with invalid state %d", i, st)
+		}
+		if st == HalfOpen {
+			st = Open
+		}
+		b.breakers[i] = breaker{
+			state:       st,
+			consecFails: snap.ConsecFails,
+			openedAt:    snap.OpenedAt,
+			calls:       snap.Calls,
+			failures:    snap.Failures,
+			latencyNs:   snap.LatencyNs,
+		}
+	}
+	b.windows = windows
+	b.quarantines = quarantines
+	b.restores = restores
+	b.rebuildLocked()
+	b.publishLocked()
+	return nil
+}
+
+// applyTransition replays one WAL-logged live-set change (quarantine or
+// restore) on top of a restored snapshot.
+func (b *healthBoard) applyTransition(idx int, restored bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := &b.breakers[idx]
+	if restored {
+		br.state = Closed
+		br.consecFails = 0
+		b.restores++
+	} else {
+		br.state = Open
+		br.openedAt = b.windows
+		if br.consecFails < b.threshold {
+			br.consecFails = b.threshold
+		}
+		b.quarantines++
+	}
+	b.rebuildLocked()
+	b.publishLocked()
+}
+
+// advanceClock moves the window clock forward by n windows (WAL verdict
+// replay: the windows of a completed program all passed the clock).
+func (b *healthBoard) advanceClock(n uint64) {
+	b.mu.Lock()
+	b.windows += n
+	b.mu.Unlock()
+}
+
+// republish refreshes the observability gauges after a restore.
+func (b *healthBoard) republish() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.publishLocked()
 }
 
 // snapshot copies per-detector health into stats rows.

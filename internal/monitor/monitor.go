@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"rhmd/internal/checkpoint"
 	"rhmd/internal/core"
 	"rhmd/internal/obs"
 	"rhmd/internal/prog"
@@ -74,6 +75,15 @@ type Config struct {
 	// (submit → extract → window → verdict, plus fault and breaker
 	// events). Nil disables tracing at zero cost.
 	Tracer *obs.Tracer
+	// Checkpoint, when non-nil, makes the engine durable: verdicts and
+	// breaker transitions are write-ahead-logged as they happen,
+	// snapshots are flushed every CheckpointEvery and once more on
+	// drain, and a crashed engine resumes via Restore. One engine per
+	// store.
+	Checkpoint *checkpoint.Store
+	// CheckpointEvery is the periodic snapshot interval (default 2s;
+	// ignored without a Checkpoint store).
+	CheckpointEvery time.Duration
 }
 
 func (c *Config) fill() {
@@ -102,6 +112,9 @@ func (c *Config) fill() {
 	}
 	if c.ProbeAfter <= 0 {
 		c.ProbeAfter = 64
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 2 * time.Second
 	}
 }
 
@@ -138,6 +151,14 @@ type Engine struct {
 	ins     *instruments
 	tracer  *obs.Tracer
 
+	// ckpt is the durability store (nil = volatile engine). ckptMu
+	// orders verdict/transition commits (shared) against snapshot
+	// capture + WAL rotation (exclusive); done ends the periodic
+	// checkpoint loop when the engine drains.
+	ckpt   *checkpoint.Store
+	ckptMu sync.RWMutex
+	done   chan struct{}
+
 	mu      sync.Mutex
 	started bool
 	closed  bool
@@ -163,8 +184,13 @@ func New(r *core.RHMD, cfg Config) (*Engine, error) {
 		reg:     reg,
 		ins:     newInstruments(reg, r),
 		tracer:  cfg.Tracer,
+		ckpt:    cfg.Checkpoint,
+		done:    make(chan struct{}),
 	}
 	e.health.attach(e.ins, e.tracer)
+	if e.ckpt != nil {
+		e.ckpt.Instrument(reg, cfg.Tracer)
+	}
 	return e, nil
 }
 
@@ -186,8 +212,22 @@ func (e *Engine) Start(ctx context.Context) {
 		e.wg.Add(1)
 		go e.worker(ctx)
 	}
+	if e.ckpt != nil {
+		go e.checkpointLoop(ctx, e.cfg.CheckpointEvery)
+	}
 	go func() {
 		e.wg.Wait()
+		// Flush a final generation after the last worker drains, so a
+		// graceful shutdown restores to the exact terminal state; only
+		// then is the result stream closed, making "Results closed" ⇒
+		// "final checkpoint durable" for consumers.
+		if e.ckpt != nil {
+			if _, err := e.Checkpoint(); err != nil {
+				e.tracer.Emit(obs.Event{Kind: obs.EvCheckpointSave, Detector: -1, Window: -1,
+					Detail: fmt.Sprintf("final save failed: %v", err)})
+			}
+		}
+		close(e.done)
 		close(e.results)
 	}()
 }
@@ -268,11 +308,9 @@ func (e *Engine) worker(ctx context.Context) {
 			}
 			e.ins.queueDepth.Dec()
 			rep := e.process(ctx, p)
-			if rep.Err != nil {
-				e.ins.failed.Inc()
-			} else {
-				e.ins.programs.Inc()
-			}
+			// Commit (count + WAL-log) before the report becomes
+			// visible: a consumer-observed verdict is always durable.
+			e.commitVerdict(rep)
 			select {
 			case e.results <- rep:
 			case <-ctx.Done():

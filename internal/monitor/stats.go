@@ -55,6 +55,18 @@ type Stats struct {
 // appears in JSON output.
 func (s BreakerState) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
 
+// UnmarshalText parses a breaker state name (the MarshalText inverse,
+// used when decoding checkpointed breaker snapshots).
+func (s *BreakerState) UnmarshalText(text []byte) error {
+	for i, name := range breakerNames {
+		if string(text) == name {
+			*s = BreakerState(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("monitor: unknown breaker state %q", text)
+}
+
 // LivePool returns how many detectors are currently serving traffic.
 // Half-open detectors count: they are receiving probe windows, so they
 // are serving (at reduced volume), not dead.

@@ -87,22 +87,21 @@ func (e *Engine) process(ctx context.Context, p *prog.Program) (rep Report) {
 		}
 		resolved = w + 1
 		e.health.windowDone()
+		// Window outcomes accumulate on the report only; the registry
+		// counters are committed at verdict time (commitVerdict) so the
+		// checkpoint layer sees each program's accounting atomically.
 		if !ok {
 			rep.Dropped++
-			e.ins.dropped.Inc()
 			e.tracer.Emit(obs.Event{Kind: obs.EvDropped, Program: p.Name, Detector: idx, Window: w})
 			continue
 		}
 		rep.Windows++
-		e.ins.windows.Inc()
 		if degraded {
 			rep.Degraded++
-			e.ins.degraded.Inc()
 			e.tracer.Emit(obs.Event{Kind: obs.EvDegraded, Program: p.Name, Detector: idx, Window: w})
 		}
 		if decision == 1 {
 			rep.Flagged++
-			e.ins.flagged.Inc()
 		}
 	}
 	rep.Malware = float64(rep.Flagged) >= float64(rep.Windows)/2 && rep.Windows > 0
@@ -174,7 +173,7 @@ func (e *Engine) classify(ctx context.Context, p *prog.Program, ws *features.Win
 			Attempt:  attempt,
 		}, d.ScoreWindow, d.Threshold, vec)
 		if err == nil {
-			e.health.report(idx, true, time.Since(start))
+			e.commitTransition(idx, true, time.Since(start))
 			return dec, nil
 		}
 		lastErr = err
@@ -189,7 +188,7 @@ func (e *Engine) classify(ctx context.Context, p *prog.Program, ws *features.Win
 				Dur: e.cfg.WindowDeadline})
 		}
 	}
-	e.health.report(idx, false, time.Since(start))
+	e.commitTransition(idx, false, time.Since(start))
 	return 0, lastErr
 }
 

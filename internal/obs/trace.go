@@ -26,6 +26,11 @@ const (
 	EvQuarantine = "quarantine"
 	EvProbe      = "probe"
 	EvRestore    = "restore"
+
+	// Checkpoint lifecycle events (internal/checkpoint).
+	EvCheckpointSave     = "ckpt-save"
+	EvCheckpointRestore  = "ckpt-restore"
+	EvCheckpointFallback = "ckpt-fallback"
 )
 
 // Event is one structured trace record. Detector and Window are -1 when
