@@ -138,7 +138,8 @@ func writeCSV(dir string, t *experiments.Table) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	t.CSV(f)
-	return nil
+	// Close is where a full disk actually surfaces; a truncated CSV must
+	// fail the run, not ship as a silently short results file.
+	return f.Close()
 }

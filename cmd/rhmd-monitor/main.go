@@ -262,11 +262,12 @@ func writeTrace(path string, tracer *obs.Tracer) error {
 	if err != nil {
 		return err
 	}
-	if err := tracer.WriteJSON(f); err != nil {
-		f.Close()
-		return err
+	werr := tracer.WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
 	}
-	return f.Close()
+	return cerr
 }
 
 func parsePeriods(s string) ([]int, error) {

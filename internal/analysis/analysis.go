@@ -1,0 +1,210 @@
+// Package analysis is a stdlib-only mini framework for project-specific
+// static analysis, plus the RHMD invariant checks built on it.
+//
+// The reproduction's correctness rests on invariants `go vet` cannot
+// see: seeded-RNG determinism for repeatable evade/retrain games (paper
+// Sections 6-7), 64-bit atomic alignment in the lock-free metrics
+// registry, the write-temp -> fsync -> rename discipline in the
+// durability layer, lock hygiene in the monitoring engine, and checked
+// errors on writable-file Close/Flush/Sync. Each invariant is encoded
+// as an Analyzer; the suite runs over type-checked packages loaded by
+// Loader and reports Diagnostics with file:line:col positions.
+// Deliberate exceptions are suppressed in source with
+// `//rhmd:ignore <check>` comments (see suppress.go).
+//
+// The framework is a deliberately small subset of the
+// golang.org/x/tools/go/analysis shape — Analyzer, Pass, Reportf — so
+// checks could migrate to the real driver later without rewrites, while
+// keeping the repository dependency-free.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the check in diagnostics, -checks flags and
+	// //rhmd:ignore comments.
+	Name string
+	// Doc is a one-line description shown by rhmd-lint -help.
+	Doc string
+	// Run inspects one package and reports findings through the Pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:    p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Package:  p.Pkg.Path(),
+		Analyzer: p.Analyzer,
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// Diagnostic is one finding with its source position.
+type Diagnostic struct {
+	Check    string         `json:"check"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+	Package  string         `json:"package"`
+	Analyzer *Analyzer      `json:"-"`
+}
+
+// String renders the conventional file:line:col: [check] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// All returns every analyzer in the suite, in report order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, AtomicAlign, FsyncRename, LockDiscipline, ErrClose}
+}
+
+// ByName resolves a comma-separated -checks list ("" or "all" = every
+// analyzer) against the suite.
+func ByName(list string) ([]*Analyzer, error) {
+	if list == "" || list == "all" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			known := make([]string, 0, len(byName))
+			for n := range byName {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("analysis: unknown check %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Scopes restricts analyzers to the package subtrees where their
+// invariant is load-bearing. A missing entry means the analyzer runs
+// everywhere. Patterns are import-path prefixes relative to the module
+// ("internal/prog" matches rhmd/internal/prog and its subpackages).
+var Scopes = map[string][]string{
+	// Determinism is an experiment-reproducibility property: the paper's
+	// evade/retrain games (Sections 6-7) are only comparable across runs
+	// if corpus synthesis, sampling and the game loop draw exclusively
+	// from the injected seeded rng.Source.
+	"determinism": {"internal/prog", "internal/rng", "internal/experiments", "internal/game"},
+	// The fsync-before-rename protocol is the durability layer's
+	// contract; persistence helpers in hmd/core and the monitor's
+	// checkpoint path route through it.
+	"fsyncrename": {"internal/checkpoint", "internal/hmd", "internal/core", "internal/monitor"},
+}
+
+// scopeAllows reports whether analyzer a runs on package path pkgPath
+// (a full import path; modulePath is stripped before matching).
+func scopeAllows(a *Analyzer, modulePath, pkgPath string) bool {
+	prefixes, ok := Scopes[a.Name]
+	if !ok {
+		return true
+	}
+	rel := strings.TrimPrefix(pkgPath, modulePath+"/")
+	for _, pre := range prefixes {
+		if rel == pre || strings.HasPrefix(rel, pre+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Result is the outcome of a suite run.
+type Result struct {
+	// Diagnostics that survived suppression, sorted by position.
+	Diagnostics []Diagnostic
+	// Suppressed counts findings silenced by //rhmd:ignore, per check.
+	Suppressed map[string]int
+}
+
+// RunSuite runs the analyzers over the packages, applies //rhmd:ignore
+// suppressions, and returns position-sorted unsuppressed diagnostics.
+func RunSuite(analyzers []*Analyzer, pkgs []*Package) Result {
+	res := Result{Suppressed: map[string]int{}}
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			if !scopeAllows(a, pkg.Module, pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &raw,
+			}
+			a.Run(pass)
+		}
+		sup := suppressionsOf(pkg)
+		for _, d := range raw {
+			if sup.covers(d) {
+				res.Suppressed[d.Check]++
+				continue
+			}
+			d.File = d.Pos.Filename
+			d.Line = d.Pos.Line
+			d.Col = d.Pos.Column
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return res
+}
+
+// isTestFile reports whether the file at pos is a _test.go file; checks
+// that only apply to production code call this to skip test scaffolding.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(path.Base(fset.Position(pos).Filename), "_test.go")
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicAlign catches the classic 32-bit trap behind sync/atomic's
+// 64-bit functions: on 386/ARM the compiler only guarantees 4-byte
+// alignment for struct fields, and Add/Load/Store/Swap/CompareAndSwap
+// on a misaligned int64/uint64 field panics at runtime. The Go docs'
+// rule — and this check's — is that atomically-accessed 64-bit fields
+// must sit at an 8-byte offset under 32-bit layout (first field is
+// always safe), or use the atomic.Int64-family types, which carry their
+// own alignment guarantee (internal/obs does the latter throughout).
+//
+// The check is call-site driven: it finds sync/atomic 64-bit calls
+// whose address argument is a struct field and computes that field's
+// offset under GOARCH=386 sizes. Package-level variables, locals and
+// slice elements are always 8-aligned by the allocator and are not
+// flagged.
+var AtomicAlign = &Analyzer{
+	Name: "atomicalign",
+	Doc:  "64-bit sync/atomic struct fields must be 8-byte aligned on 32-bit platforms (place first or use atomic.Int64)",
+	Run:  runAtomicAlign,
+}
+
+// atomic64Funcs are the sync/atomic functions operating on 64-bit words.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+// sizes32 is the strictest layout the runtime supports: 4-byte word,
+// 64-bit fields aligned to 4.
+var sizes32 = types.SizesFor("gc", "386")
+
+func runAtomicAlign(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomic64Funcs[fn.Name()] {
+				return true
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok {
+				return true // address came from elsewhere; out of scope
+			}
+			fieldSel, ok := addr.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := p.Info.Selections[fieldSel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			if off, bad := misaligned32(selection); bad {
+				p.Reportf(call.Args[0].Pos(),
+					"atomic.%s on field %s at 32-bit offset %d (not 8-byte aligned); move it to the front of %s or use atomic.%s",
+					fn.Name(), selection.Obj().Name(), off,
+					structName(selection), atomicTypeFor(fn.Name()))
+			}
+			return true
+		})
+	}
+}
+
+// misaligned32 walks the selection's field index path and accumulates
+// the field offset under 32-bit sizes. Pointer indirections reset the
+// offset: a heap allocation is always 8-aligned.
+func misaligned32(sel *types.Selection) (offset int64, bad bool) {
+	t := sel.Recv()
+	for _, idx := range sel.Index() {
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+			offset = 0
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		offsets := sizes32.Offsetsof(fields)
+		offset += offsets[idx]
+		t = st.Field(idx).Type()
+	}
+	return offset, offset%8 != 0
+}
+
+// structName names the receiver struct for the message.
+func structName(sel *types.Selection) string {
+	t := sel.Recv()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// atomicTypeFor maps an atomic function name to the matching typed
+// alternative ("AddUint64" -> "Uint64").
+func atomicTypeFor(fn string) string {
+	for _, t := range []string{"Int64", "Uint64"} {
+		if len(fn) >= len(t) && fn[len(fn)-len(t):] == t {
+			return t
+		}
+	}
+	return "Int64"
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces seeded-RNG reproducibility in the experiment
+// pipeline: the paper's evade/retrain games (Sections 6-7) are only
+// comparable across runs when every stochastic choice flows from the
+// injected rng.Source and no result depends on wall time or Go's
+// randomized map iteration order.
+//
+// Flagged in scoped packages (see Scopes):
+//   - references to time.Now / time.Since / time.Until outside tests;
+//   - imports of math/rand and math/rand/v2 (their global state defeats
+//     per-experiment seeding even when explicitly seeded);
+//   - range over a map whose body feeds order-sensitive results —
+//     appends to a slice, sends on a channel, or draws from an
+//     *rng.Source (draw order changes with iteration order).
+//
+// Commutative map loops (sums, counts, max) are not flagged. Loops that
+// are deterministic for a reason the analyzer cannot see (keys sorted
+// after collection, singleton maps) carry an //rhmd:ignore with the
+// reason.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "experiment paths must use the injected seeded RNG, not wall time, math/rand or map order",
+	Run:  runDeterminism,
+}
+
+// wallFuncs are the time package functions that read the wall clock.
+var wallFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runDeterminism(p *Pass) {
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(), "import of %s: global generator state breaks seeded reproducibility; draw from the injected rng.Source", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if fn, ok := p.Info.Uses[n.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "time" && wallFuncs[fn.Name()] {
+					p.Reportf(n.Pos(), "time.%s reads the wall clock: experiment results must not depend on real time; use the injected clock", fn.Name())
+				}
+			case *ast.RangeStmt:
+				if t := p.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap && orderSensitive(p, n.Body) {
+						p.Reportf(n.Pos(), "map iteration order feeds results here; iterate sorted keys or a slice instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// orderSensitive reports whether a range body leaks iteration order:
+// it appends to a slice, sends on a channel, or consumes randomness
+// (passing an *rng.Source means draw order tracks iteration order).
+func orderSensitive(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					found = true
+				}
+			}
+			for _, arg := range n.Args {
+				if isRNGSource(p.TypeOf(arg)) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isRNGSource reports whether t is *rng.Source from this module's
+// internal/rng package.
+func isRNGSource(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Source" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/rng")
+}

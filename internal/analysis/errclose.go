@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrClose flags discarded errors from Close, Flush and Sync on
+// writable files in non-test code. For a buffered or OS-level writer
+// these calls are where write errors actually surface — ENOSPC and
+// quota errors commonly appear only at close/fsync time — so ignoring
+// them silently truncates checkpoints and exported CSVs. Both bare
+// statements (`f.Close()`) and deferred calls (`defer f.Close()`) are
+// flagged; the fix is an explicit checked close on the success path
+// (and an //rhmd:ignore for deliberate best-effort cleanup on error
+// paths).
+//
+// "Writable" means the receiver's method set implements io.Writer, so
+// closing read-only bodies (io.ReadCloser) stays idiomatic and
+// unflagged.
+var ErrClose = &Analyzer{
+	Name: "errclose",
+	Doc:  "Close/Flush/Sync errors on writable files must be checked in non-test code",
+	Run:  runErrClose,
+}
+
+// flushFuncs are the methods whose error carries deferred write failures.
+var flushFuncs = map[string]bool{"Close": true, "Flush": true, "Sync": true}
+
+// ioWriter is a structural io.Writer built without importing io, so the
+// check works on packages that never mention the interface.
+var ioWriter = func() *types.Interface {
+	byteSlice := types.NewSlice(types.Typ[types.Byte])
+	errType := types.Universe.Lookup("error").Type()
+	sig := types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, nil, "p", byteSlice)),
+		types.NewTuple(
+			types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+			types.NewVar(token.NoPos, nil, "err", errType),
+		), false)
+	iface := types.NewInterfaceType([]*types.Func{types.NewFunc(token.NoPos, nil, "Write", sig)}, nil)
+	iface.Complete()
+	return iface
+}()
+
+func runErrClose(p *Pass) {
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					reportDiscarded(p, call, false)
+				}
+			case *ast.DeferStmt:
+				reportDiscarded(p, n.Call, true)
+			case *ast.GoStmt:
+				return true
+			}
+			return true
+		})
+	}
+}
+
+// reportDiscarded flags call if it is a Close/Flush/Sync returning an
+// error on a writable receiver and the result is being thrown away.
+func reportDiscarded(p *Pass, call *ast.CallExpr, deferred bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 || !flushFuncs[sel.Sel.Name] {
+		return
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 || !isErrorType(sig.Results().At(0).Type()) {
+		return
+	}
+	recv := p.TypeOf(sel.X)
+	if recv == nil || !writable(recv) {
+		return
+	}
+	how := "ignores the error"
+	if deferred {
+		how = "defers and discards the error"
+	}
+	p.Reportf(call.Pos(), "%s on writable %s %s: ENOSPC and deferred write failures vanish here; check it on the success path",
+		sel.Sel.Name, recv.String(), how)
+}
+
+// writable reports whether t (or its pointer) implements io.Writer.
+func writable(t types.Type) bool {
+	if types.Implements(t, ioWriter) {
+		return true
+	}
+	if _, ok := t.Underlying().(*types.Pointer); !ok {
+		if types.Implements(types.NewPointer(t), ioWriter) {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

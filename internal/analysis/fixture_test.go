@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness mirrors x/tools analysistest at small scale:
+// each testdata/src/<name> directory is one package whose files carry
+// `// want "regexp"` comments on the lines where the analyzer must
+// report. A fixture run fails on any unexpected diagnostic, any
+// unmatched expectation, or a message/position mismatch — so a
+// regressed check cannot silently pass.
+
+var wantRE = regexp.MustCompile(`// want "([^"]*)"`)
+
+// expectation is one `// want` comment.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// runFixture loads testdata/src/<name> under asPath and checks the
+// analyzer's diagnostics against the fixture's want comments.
+func runFixture(t *testing.T, a *Analyzer, name, asPath string) {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := loader.LoadDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		fname := loader.Fset.Position(f.Pos()).Filename
+		data, err := os.ReadFile(fname)
+		if err != nil {
+			t.Fatalf("reading %s: %v", fname, err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				rx, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", fname, i+1, m[1], err)
+				}
+				wants = append(wants, &expectation{file: fname, line: i + 1, pattern: rx})
+			}
+		}
+	}
+
+	res := RunSuite([]*Analyzer{a}, []*Package{pkg})
+	for _, d := range res.Diagnostics {
+		if d.Pos.Line <= 0 || d.Pos.Column <= 0 || d.Pos.Filename == "" {
+			t.Errorf("diagnostic without a real position: %+v", d)
+		}
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	runFixture(t, Determinism, "determinism", "fix/internal/experiments/determinism")
+}
+
+func TestAtomicAlignFixture(t *testing.T) {
+	runFixture(t, AtomicAlign, "atomicalign", "fix/atomicalign")
+}
+
+func TestFsyncRenameFixture(t *testing.T) {
+	runFixture(t, FsyncRename, "fsyncrename", "fix/internal/checkpoint/fsyncrename")
+}
+
+func TestLockDisciplineFixture(t *testing.T) {
+	runFixture(t, LockDiscipline, "lockdiscipline", "fix/lockdiscipline")
+}
+
+func TestErrCloseFixture(t *testing.T) {
+	runFixture(t, ErrClose, "errclose", "fix/errclose")
+}
+
+// TestSuppressFixture proves //rhmd:ignore silences exactly the named
+// check on the covered lines and nothing else.
+func TestSuppressFixture(t *testing.T) {
+	runFixture(t, ErrClose, "suppress", "fix/suppress")
+}
+
+// TestScopedAnalyzersSkipForeignPackages pins the scope table: a
+// determinism violation outside the experiment packages is not the
+// suite's business.
+func TestScopedAnalyzersSkipForeignPackages(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "determinism"), "fix/cmd/unrelated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunSuite([]*Analyzer{Determinism}, []*Package{pkg})
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("determinism ran outside its scope: %v", res.Diagnostics)
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("all")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(all) = %d analyzers, err %v", len(all), err)
+	}
+	two, err := ByName("errclose, determinism")
+	if err != nil || len(two) != 2 || two[0].Name != "errclose" || two[1].Name != "determinism" {
+		t.Fatalf("ByName pair = %v, err %v", two, err)
+	}
+	if _, err := ByName("nosuchcheck"); err == nil {
+		t.Fatal("ByName accepted an unknown check")
+	}
+}
+
+// TestDiagnosticString pins the file:line:col: [check] message format
+// the Makefile and editors rely on.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Check: "errclose", Message: "boom"}
+	d.Pos.Filename = "x.go"
+	d.Pos.Line = 3
+	d.Pos.Column = 9
+	if got, want := d.String(), "x.go:3:9: [errclose] boom"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FsyncRename enforces the durability layer's publication protocol
+// (DESIGN.md, internal/checkpoint): data reaches disk as
+// write-temp -> Sync -> Close -> Rename -> SyncDir, so a crash leaves
+// either the old file or the complete new one. Renaming a freshly
+// written temp file without first syncing it is the classic bug this
+// protocol exists to prevent — after a power failure the rename can
+// survive while the file's bytes do not, publishing an empty or torn
+// file under the final name.
+//
+// The check is intraprocedural: in scoped persistence packages, every
+// call to a function or method named Rename must be preceded, earlier
+// in the same function, by a Sync() call on some file handle. Two
+// shapes are exempt:
+//   - methods named Rename (FS implementations delegating to
+//     os.Rename are the protocol's substrate, not its users);
+//   - functions that only rename and never write (no Write/WriteString
+//     call and no file creation), e.g. generation rotation.
+var FsyncRename = &Analyzer{
+	Name: "fsyncrename",
+	Doc:  "renaming a written temp file requires a preceding Sync() on it (write-temp -> fsync -> rename)",
+	Run:  runFsyncRename,
+}
+
+func runFsyncRename(p *Pass) {
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name.Name == "Rename" {
+				continue
+			}
+			checkFsyncRename(p, fd.Body)
+		}
+	}
+}
+
+func checkFsyncRename(p *Pass, body *ast.BlockStmt) {
+	type callSite struct {
+		pos  ast.Node
+		name string
+	}
+	var syncs []callSite
+	var renames []callSite
+	writes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Sync":
+			if len(call.Args) == 0 {
+				syncs = append(syncs, callSite{call, "Sync"})
+			}
+		case "Rename":
+			if len(call.Args) == 2 && isStringArg(p, call.Args[0]) && isStringArg(p, call.Args[1]) {
+				renames = append(renames, callSite{call, renderFun(sel)})
+			}
+		case "Write", "WriteString", "Create", "OpenFile":
+			writes = true
+		}
+		return true
+	})
+	if !writes {
+		return
+	}
+	for _, r := range renames {
+		ok := false
+		for _, s := range syncs {
+			if s.pos.Pos() < r.pos.Pos() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			p.Reportf(r.pos.Pos(), "%s publishes a written file with no preceding Sync(): a crash can keep the rename but lose the bytes", r.name)
+		}
+	}
+}
+
+// isStringArg reports whether e has string type (Rename's oldpath and
+// newpath), distinguishing filesystem renames from unrelated Rename
+// methods.
+func isStringArg(p *Pass, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// renderFun renders a selector call target for a message ("os.Rename",
+// "fsys.Rename").
+func renderFun(sel *ast.SelectorExpr) string {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return id.Name + "." + sel.Sel.Name
+	}
+	return sel.Sel.Name
+}

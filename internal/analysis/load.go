@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("rhmd/internal/core").
+	Path string
+	// Module is the module path from go.mod ("rhmd"); fixture packages
+	// loaded with LoadDir carry a synthetic module equal to their path.
+	Module string
+	Dir    string
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+}
+
+// Loader parses and type-checks module packages with the standard
+// library resolved through the compiler's export data (falling back to
+// type-checking stdlib from source), so the whole pipeline stays
+// stdlib-only: go/parser + go/types + go/importer, no external driver.
+//
+// Only non-test files are loaded: the invariants the suite enforces are
+// production-code properties, and test files routinely use wall time
+// and ad-hoc closes on purpose.
+type Loader struct {
+	Fset *token.FileSet
+
+	root    string // module root directory (holds go.mod)
+	module  string // module path
+	pkgs    map[string]*Package
+	loading map[string]bool
+	gcImp   types.Importer
+	srcImp  types.Importer
+}
+
+// NewLoader returns a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, module, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		root:    root,
+		module:  module,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+		gcImp:   importer.Default(),
+		srcImp:  importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// Module returns the module path the loader is rooted at.
+func (l *Loader) Module() string { return l.module }
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// root directory and module path.
+func findModule(dir string) (root, module string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", abs)
+		}
+	}
+}
+
+// Load resolves package patterns ("./...", "./internal/core",
+// "internal/core/...") to directories and returns their packages in
+// deterministic (import path) order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		expanded, err := l.expand(pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range expanded {
+			dirs[d] = true
+		}
+	}
+	paths := make([]string, 0, len(dirs))
+	for d := range dirs {
+		rel, err := filepath.Rel(l.root, d)
+		if err != nil {
+			return nil, err
+		}
+		p := l.module
+		if rel != "." {
+			p = l.module + "/" + filepath.ToSlash(rel)
+		}
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var out []*Package
+	for _, p := range paths {
+		pkg, err := l.loadPath(p)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil { // directories with no non-test Go files
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// expand turns one pattern into a list of package directories.
+func (l *Loader) expand(pat string) ([]string, error) {
+	recursive := false
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		recursive = true
+		pat = rest
+	}
+	if pat == "." && recursive { // "./..."
+		pat = "./"
+	}
+	dir := pat
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(l.root, pat)
+	}
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return nil, fmt.Errorf("analysis: pattern %q does not name a directory under %s", pat, l.root)
+	}
+	if !recursive {
+		return []string{dir}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		// Skip testdata (holds deliberately-broken fixture packages),
+		// hidden and underscore directories, per go tool convention.
+		if p != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if files, err := goFilesIn(p); err == nil && len(files) > 0 {
+			dirs = append(dirs, p)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// goFilesIn lists the non-test .go files of dir, sorted.
+func goFilesIn(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// loadPath loads (or returns the cached) package for an import path
+// inside the module. Returns (nil, nil) for directories without Go files.
+func (l *Loader) loadPath(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	dir := l.root
+	if rest, ok := strings.CutPrefix(path, l.module+"/"); ok {
+		dir = filepath.Join(l.root, filepath.FromSlash(rest))
+	} else if path != l.module {
+		return nil, fmt.Errorf("analysis: %s is not inside module %s", path, l.module)
+	}
+	files, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	pkg, err := l.check(path, l.module, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// LoadDir type-checks a standalone directory (a test fixture) under a
+// synthetic import path. The first path segment acts as the fixture's
+// module, so a path like "fix/internal/checkpoint/x" exercises
+// analyzers scoped to internal/checkpoint. Fixture packages may import
+// the standard library and this module's packages.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	files, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	module := asPath
+	if i := strings.Index(asPath, "/"); i >= 0 {
+		module = asPath[:i]
+	}
+	return l.check(asPath, module, dir, files)
+}
+
+// check parses and type-checks one package.
+func (l *Loader) check(path, module, dir string, files []string) (*Package, error) {
+	pkg := &Package{Path: path, Module: module, Dir: dir, Fset: l.Fset}
+	for _, f := range files {
+		af, err := parser.ParseFile(l.Fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		pkg.Files = append(pkg.Files, af)
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) { return l.importPkg(p) }),
+		Sizes:    types.SizesFor("gc", "amd64"),
+	}
+	tpkg, err := conf.Check(path, l.Fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// importPkg resolves an import: module-internal paths recurse through
+// the loader; everything else goes to the gc importer (compiled export
+// data) with a source-importer fallback for packages without it.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		pkg, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: no Go files for %s", path)
+		}
+		return pkg.Types, nil
+	}
+	if p, err := l.gcImp.Import(path); err == nil {
+		return p, nil
+	}
+	return l.srcImp.Import(path)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

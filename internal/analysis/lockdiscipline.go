@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockDiscipline enforces two mutex rules the monitoring engine's hot
+// paths depend on:
+//
+//  1. Every sync.Mutex/RWMutex Lock()/RLock() must have a matching
+//     release in the same function — either `defer mu.Unlock()` or an
+//     explicit Unlock() later in the body. A lock with no release in
+//     its function is almost always a leaked lock (the exceptions,
+//     like lock handoff across functions, carry an //rhmd:ignore).
+//  2. While a lock is held, the function must not block on channel
+//     operations or time.Sleep: a blocking send under the registry or
+//     health-board mutex turns a slow consumer into a pool-wide stall.
+//     The held region runs from the Lock to the first matching inline
+//     Unlock, or to the end of the function when released by defer.
+//
+// Matching is by the receiver's printed expression ("e.mu"), so locks
+// through different aliases of the same mutex are not correlated —
+// a deliberate simplification that has no false negatives on this
+// codebase's idiom of naming mutexes through one path. Function
+// literals are analyzed as their own scopes; a deferred closure that
+// unlocks counts as a release for its enclosing function.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "Lock() needs a same-function Unlock/defer, and no blocking channel ops or sleeps while holding a mutex",
+	Run:  runLockDiscipline,
+}
+
+// unlockFor pairs acquire methods with their release.
+var unlockFor = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+func runLockDiscipline(p *Pass) {
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkLockBody(p, n.Body)
+				}
+			case *ast.FuncLit:
+				checkLockBody(p, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// lockOp is one mutex acquire/release call found in a function body.
+type lockOp struct {
+	pos      token.Pos
+	end      token.Pos
+	key      string // printed receiver, e.g. "e.mu"
+	name     string // Lock, Unlock, RLock, RUnlock
+	deferred bool
+	nested   bool // inside a nested FuncLit (releases only)
+}
+
+func checkLockBody(p *Pass, body *ast.BlockStmt) {
+	ops := collectLockOps(p, body)
+	var acquires, releases []lockOp
+	for _, op := range ops {
+		if _, isAcquire := unlockFor[op.name]; isAcquire && !op.nested {
+			acquires = append(acquires, op)
+		} else if !isAcquire {
+			releases = append(releases, op)
+		}
+	}
+	for _, a := range acquires {
+		want := unlockFor[a.name]
+		heldEnd := body.End() // defer-released: held to function end
+		released := false
+		for _, r := range releases {
+			if r.key != a.key || r.name != want {
+				continue
+			}
+			if r.deferred || r.nested {
+				released = true
+				continue
+			}
+			if r.pos > a.pos {
+				released = true
+				if r.pos < heldEnd {
+					heldEnd = r.pos
+				}
+			}
+		}
+		if !released {
+			p.Reportf(a.pos, "%s.%s() has no matching %s() or defer in this function: the lock leaks on every path", a.key, a.name, want)
+			continue
+		}
+		reportBlockingHeld(p, body, a.key, a.pos, heldEnd)
+	}
+}
+
+// collectLockOps finds sync (R)Lock/(R)Unlock calls in body. Calls
+// inside nested function literals are recorded as nested: their
+// acquires are checked when the literal itself is visited, but their
+// releases count for the enclosing function (deferred-closure unlock).
+func collectLockOps(p *Pass, body *ast.BlockStmt) []lockOp {
+	var ops []lockOp
+	var walk func(n ast.Node, nested, deferred bool)
+	walk = func(n ast.Node, nested, deferred bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if m.Body != nil {
+					walk(m.Body, true, deferred)
+				}
+				return false
+			case *ast.DeferStmt:
+				walk(m.Call, nested, true)
+				return false
+			case *ast.CallExpr:
+				if op, ok := syncLockCall(p, m); ok {
+					op.deferred = deferred
+					op.nested = nested
+					ops = append(ops, op)
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false, false)
+	return ops
+}
+
+// syncLockCall recognizes a call to sync.Mutex/RWMutex (R)Lock/(R)Unlock,
+// including through embedded fields, and returns its receiver key.
+func syncLockCall(p *Pass, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return lockOp{}, false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return lockOp{pos: call.Pos(), end: call.End(), key: types.ExprString(sel.X), name: fn.Name()}, true
+	}
+	return lockOp{}, false
+}
+
+// reportBlockingHeld flags blocking operations positioned inside the
+// held region [from, to] of mutex key. Nested function literals are
+// skipped: they run later, not while the lock is held.
+func reportBlockingHeld(p *Pass, body *ast.BlockStmt, key string, from, to token.Pos) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n.Pos() <= from || n.Pos() >= to {
+			// Still descend: children may fall inside the region even when
+			// the parent starts before it.
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			p.Reportf(n.Pos(), "channel send while holding %s: a full channel stalls every other taker of the lock", key)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				p.Reportf(n.Pos(), "channel receive while holding %s: blocks the lock until a sender shows up", key)
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+					p.Reportf(n.Pos(), "time.Sleep while holding %s", key)
+				}
+			}
+		}
+		return true
+	})
+}

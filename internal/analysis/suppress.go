@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// Suppression comments let deliberate exceptions live next to the code
+// they excuse, with the check name and (by convention) a reason:
+//
+//	f.Close() //rhmd:ignore errclose best-effort cleanup on error path
+//
+//	//rhmd:ignore lockdiscipline send happens after the inline Unlock
+//	ch <- v
+//
+// A comment suppresses the named checks (comma-separated; empty or
+// "all" means every check) on its own line and on the line directly
+// below, covering both the trailing-comment and the line-above styles.
+// Suppressions are per-line on purpose: file- or package-wide opt-outs
+// would silently swallow future regressions.
+const ignorePrefix = "rhmd:ignore"
+
+// suppression records which checks are silenced at which lines of a file.
+type suppression struct {
+	// byFile maps filename -> comment line -> suppressed check names
+	// (the literal string "all" suppresses everything).
+	byFile map[string]map[int][]string
+}
+
+// suppressionsOf scans every comment in the package once.
+func suppressionsOf(pkg *Package) *suppression {
+	s := &suppression{byFile: map[string]map[int][]string{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. rhmd:ignoreXYZ
+				}
+				checks := parseIgnoreList(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				lines := s.byFile[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					s.byFile[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], checks...)
+			}
+		}
+	}
+	return s
+}
+
+// parseIgnoreList extracts the check-name list from the text after the
+// marker: the first whitespace-separated field is a comma-separated
+// check list; everything after it is free-form rationale.
+func parseIgnoreList(rest string) []string {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return []string{"all"}
+	}
+	var checks []string
+	for _, c := range strings.Split(fields[0], ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			checks = append(checks, c)
+		}
+	}
+	if len(checks) == 0 {
+		return []string{"all"}
+	}
+	return checks
+}
+
+// covers reports whether d is silenced by a comment on its line or the
+// line above.
+func (s *suppression) covers(d Diagnostic) bool {
+	lines, ok := s.byFile[d.Pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, c := range lines[line] {
+			if c == "all" || c == d.Check {
+				return true
+			}
+		}
+	}
+	return false
+}

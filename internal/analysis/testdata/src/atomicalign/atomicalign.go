@@ -1,0 +1,59 @@
+// Package atomicalign is a fixture for the atomicalign analyzer: the
+// 64-bit sync/atomic functions panic on 32-bit platforms when their
+// target struct field is not 8-byte aligned.
+package atomicalign
+
+import "sync/atomic"
+
+// misaligned puts the counter after a bool: 32-bit offset 4.
+type misaligned struct {
+	closed bool
+	hits   int64
+}
+
+func bump(s *misaligned) {
+	atomic.AddInt64(&s.hits, 1) // want "atomic.AddInt64 on field hits at 32-bit offset 4"
+}
+
+func peek(s *misaligned) int64 {
+	return atomic.LoadInt64(&s.hits) // want "atomic.LoadInt64 on field hits at 32-bit offset 4"
+}
+
+// misalignedU is the unsigned flavour with a preceding int32.
+type misalignedU struct {
+	gen  int32
+	seen uint64
+}
+
+func mark(s *misalignedU) {
+	atomic.StoreUint64(&s.seen, 7) // want "atomic.StoreUint64 on field seen at 32-bit offset 4"
+}
+
+// first places the 64-bit field at offset 0 — always safe.
+type first struct {
+	hits   int64
+	closed bool
+}
+
+func bumpFirst(s *first) { atomic.AddInt64(&s.hits, 1) }
+
+// padded keeps the counter at an 8-aligned offset even on 32-bit.
+type padded struct {
+	a, b int32
+	hits int64
+}
+
+func bumpPadded(s *padded) { atomic.AddInt64(&s.hits, 1) }
+
+// typed uses atomic.Int64, which carries its own alignment guarantee.
+type typed struct {
+	closed bool
+	hits   atomic.Int64
+}
+
+func bumpTyped(s *typed) { s.hits.Add(1) }
+
+// global variables are always 8-aligned by the allocator.
+var total int64
+
+func bumpGlobal() { atomic.AddInt64(&total, 1) }

@@ -1,0 +1,63 @@
+// Package determinism is a fixture for the determinism analyzer: wall
+// clock reads, math/rand imports and order-sensitive map iteration are
+// flagged; commutative map loops are not.
+package determinism
+
+import (
+	"math/rand" // want "import of math/rand: global generator state breaks seeded reproducibility"
+	"time"
+
+	"rhmd/internal/rng"
+)
+
+// wallClock leaks real time into a result.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// elapsed depends on wall time twice over.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+// globalRand draws from the package-global generator; the import line
+// carries the diagnostic.
+func globalRand() int { return rand.Intn(3) }
+
+// drawPerKey is the core hazard: the draw order — hence every value —
+// tracks Go's randomized map iteration order.
+func drawPerKey(r *rng.Source, weights map[string]float64) []float64 {
+	var out []float64
+	for _, w := range weights { // want "map iteration order feeds results here"
+		out = append(out, w*r.Float64())
+	}
+	return out
+}
+
+// collectKeys appends in iteration order.
+func collectKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order feeds results here"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sum is commutative: iteration order cannot leak into the result.
+func sum(weights map[string]float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	return total
+}
+
+// sliceOrder ranges over a slice, which is ordered; not a map, not
+// flagged even though it appends.
+func sliceOrder(ws []float64) []float64 {
+	var out []float64
+	for _, w := range ws {
+		out = append(out, 2*w)
+	}
+	return out
+}

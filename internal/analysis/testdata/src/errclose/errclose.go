@@ -1,0 +1,71 @@
+// Package errclose is a fixture for the errclose analyzer: discarded
+// Close/Flush/Sync errors on writable files are flagged; read-side
+// closes and checked closes are not.
+package errclose
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+// deferClose is the classic bug: the deferred Close swallows the error
+// where ENOSPC would surface.
+func deferClose(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "Close on writable .os.File defers and discards the error"
+	_, err = f.Write(data)
+	return err
+}
+
+// bareFlush drops the buffered writer's error on the floor.
+func bareFlush(w *bufio.Writer) {
+	w.Flush() // want "Flush on writable .bufio.Writer ignores the error"
+}
+
+// bareSync loses the fsync result — the whole point of calling it.
+func bareSync(f *os.File) {
+	f.Sync() // want "Sync on writable .os.File ignores the error"
+}
+
+// errorPathClose ignores Close on the error path too; deliberate
+// best-effort cleanup needs an //rhmd:ignore (see the suppress fixture).
+func errorPathClose(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() // want "Close on writable .os.File ignores the error"
+		return err
+	}
+	return f.Close()
+}
+
+// checked returns the close error; nothing to flag.
+func checked(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// drain closes a read-only body: not writable, stays idiomatic.
+func drain(rc io.ReadCloser) error {
+	defer rc.Close()
+	_, err := io.ReadAll(rc)
+	return err
+}
+
+// assigned captures the error, even if discarded explicitly; the
+// analyzer only flags results thrown away implicitly.
+func assigned(f *os.File) {
+	_ = f.Close()
+}

@@ -1,0 +1,59 @@
+// Package fsyncrename is a fixture for the fsyncrename analyzer: a
+// written temp file must be fsynced before the rename that publishes
+// it, or a crash can keep the rename and lose the bytes.
+package fsyncrename
+
+import "os"
+
+// publishTorn writes, closes and renames — no Sync. This is the bug.
+func publishTorn(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // want "os.Rename publishes a written file with no preceding Sync"
+}
+
+// publishDurable follows the protocol: write, Sync, Close, Rename.
+func publishDurable(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// rotate renames existing generations without writing anything; there
+// are no fresh bytes to lose, so it is exempt.
+func rotate(dir string) error {
+	return os.Rename(dir+"/gen-1", dir+"/gen-2")
+}
+
+// fsys delegates Rename as part of implementing a filesystem surface;
+// implementations are the protocol's substrate, not its users, so
+// methods named Rename are exempt even when the body also writes.
+type fsys struct{}
+
+func (fsys) Rename(oldpath, newpath string) error {
+	if f, err := os.Create(oldpath + ".marker"); err == nil {
+		_ = f.Close()
+	}
+	return os.Rename(oldpath, newpath)
+}

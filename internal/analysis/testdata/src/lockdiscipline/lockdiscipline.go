@@ -1,0 +1,94 @@
+// Package lockdiscipline is a fixture for the lockdiscipline analyzer:
+// every Lock needs a same-function release, and nothing may block on
+// channels or sleeps while a mutex is held.
+package lockdiscipline
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+	ch chan int
+}
+
+// leak acquires and never releases.
+func leak(b *box) {
+	b.mu.Lock() // want "b.mu.Lock.. has no matching Unlock"
+	b.n++
+}
+
+// rleak leaks a read lock; the matching release is RUnlock, not Unlock.
+func rleak(b *box) int {
+	b.rw.RLock() // want "b.rw.RLock.. has no matching RUnlock"
+	return b.n
+}
+
+// deferred is the canonical shape.
+func deferred(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+// inline releases explicitly; the send after the release is fine.
+func inline(b *box) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.ch <- b.n
+}
+
+// closureUnlock releases through a deferred closure.
+func closureUnlock(b *box) {
+	b.mu.Lock()
+	defer func() { b.mu.Unlock() }()
+	b.n++
+}
+
+// sendHeld blocks on a channel send while the mutex is held: one full
+// channel stalls every other taker of the lock.
+func sendHeld(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- b.n // want "channel send while holding b.mu"
+}
+
+// recvHeld blocks on a receive while holding the read lock.
+func recvHeld(b *box) int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.n + <-b.ch // want "channel receive while holding b.rw"
+}
+
+// sleepHeld parks the scheduler with the lock held.
+func sleepHeld(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding b.mu"
+	b.n++
+}
+
+// spawnHeld starts a goroutine whose send happens after this function
+// returns the lock; function literals are their own scopes.
+func spawnHeld(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() { b.ch <- 1 }()
+	b.n++
+}
+
+// twoPhase locks twice with inline releases; the send sits between the
+// two held regions and is fine.
+func twoPhase(b *box) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.ch <- b.n
+	b.mu.Lock()
+	b.n--
+	b.mu.Unlock()
+}

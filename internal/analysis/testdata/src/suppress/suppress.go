@@ -1,0 +1,24 @@
+// Package suppress is a fixture for //rhmd:ignore handling: trailing
+// and line-above comments silence the named check; unrelated names and
+// bare violations still report.
+package suppress
+
+import "os"
+
+// cleanup demonstrates the two suppression placements.
+func cleanup(f *os.File) {
+	f.Close() //rhmd:ignore errclose best-effort cleanup on error path
+
+	//rhmd:ignore errclose covered from the line above
+	f.Close()
+
+	//rhmd:ignore determinism wrong check name does not cover errclose
+	f.Close() // want "Close on writable .os.File ignores the error"
+
+	f.Close() // want "Close on writable .os.File ignores the error"
+}
+
+// all demonstrates the bare form silencing every check.
+func all(f *os.File) {
+	f.Sync() //rhmd:ignore
+}

@@ -281,11 +281,11 @@ func WriteFileAtomic(fsys FS, path string, data []byte) error {
 		return fmt.Errorf("checkpoint: creating %s: %w", tmp, err)
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
+		f.Close() //rhmd:ignore errclose best-effort cleanup; the write error is already being returned
 		return fmt.Errorf("checkpoint: writing %s: %w", tmp, err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		f.Close() //rhmd:ignore errclose best-effort cleanup; the sync error is already being returned
 		return fmt.Errorf("checkpoint: syncing %s: %w", tmp, err)
 	}
 	if err := f.Close(); err != nil {

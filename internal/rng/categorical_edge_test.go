@@ -1,0 +1,160 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge cases for the alias-table sampler on the exact shapes the
+// monitoring engine produces: the determinism analyzer forces every
+// switching draw through NewCategorical, and pool degradation
+// (core.RHMD.LiveSampler) feeds it weight vectors with zeroed-out
+// quarantined entries, singleton survivors, and zero tails.
+
+// TestCategoricalZeroWeightTails pins the alias construction when every
+// trailing entry is zero: the tails must get probability zero, never be
+// sampled, and the live prefix must keep its relative weights.
+func TestCategoricalZeroWeightTails(t *testing.T) {
+	c, err := NewCategorical([]float64{3, 1, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{0.75, 0.25, 0, 0, 0} {
+		if math.Abs(c.Prob(i)-want) > 1e-12 {
+			t.Fatalf("Prob(%d) = %v, want %v", i, c.Prob(i), want)
+		}
+	}
+	r := New(91)
+	counts := make([]int, c.Len())
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		counts[c.Sample(r)]++
+	}
+	if counts[2]+counts[3]+counts[4] != 0 {
+		t.Fatalf("sampled a zero-weight tail: counts %v", counts)
+	}
+	if got := float64(counts[0]) / n; math.Abs(got-0.75) > 0.01 {
+		t.Fatalf("empirical P(0) = %v, want ~0.75", got)
+	}
+}
+
+// TestCategoricalQuarantineRenormalization mirrors the pool-degradation
+// path: detectors drop out one by one (weight zeroed), survivors must
+// renormalize to their relative weights at every stage, down to a
+// singleton; an all-zero vector is an error, not a silent sampler.
+func TestCategoricalQuarantineRenormalization(t *testing.T) {
+	base := []float64{0.4, 0.3, 0.2, 0.1}
+	live := []bool{true, true, true, true}
+	quarantineOrder := []int{1, 3, 0}
+	r := New(92)
+
+	for stage, victim := range append([]int{-1}, quarantineOrder...) {
+		if victim >= 0 {
+			live[victim] = false
+		}
+		w := make([]float64, len(base))
+		total := 0.0
+		for i := range base {
+			if live[i] {
+				w[i] = base[i]
+				total += base[i]
+			}
+		}
+		c, err := NewCategorical(w)
+		if err != nil {
+			t.Fatalf("stage %d: %v", stage, err)
+		}
+		sum := 0.0
+		for i := range w {
+			want := 0.0
+			if live[i] {
+				want = base[i] / total
+			}
+			if math.Abs(c.Prob(i)-want) > 1e-12 {
+				t.Fatalf("stage %d: Prob(%d) = %v, want %v", stage, i, c.Prob(i), want)
+			}
+			sum += c.Prob(i)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("stage %d: probabilities sum to %v", stage, sum)
+		}
+		counts := make([]int, len(w))
+		const n = 100_000
+		for i := 0; i < n; i++ {
+			counts[c.Sample(r)]++
+		}
+		for i := range w {
+			if !live[i] && counts[i] != 0 {
+				t.Fatalf("stage %d: drew quarantined detector %d", stage, i)
+			}
+			if live[i] {
+				if got, want := float64(counts[i])/n, base[i]/total; math.Abs(got-want) > 0.015 {
+					t.Fatalf("stage %d: empirical P(%d) = %v, want ~%v", stage, i, got, want)
+				}
+			}
+		}
+	}
+
+	// Final stage: only index 2 is live; it must be drawn always.
+	if c, err := NewCategorical([]float64{0, 0, 0.2, 0}); err != nil {
+		t.Fatal(err)
+	} else {
+		for i := 0; i < 1000; i++ {
+			if got := c.Sample(r); got != 2 {
+				t.Fatalf("singleton survivor: drew %d", got)
+			}
+		}
+	}
+
+	// Every detector quarantined: construction must refuse.
+	if _, err := NewCategorical([]float64{0, 0, 0, 0}); err == nil {
+		t.Fatal("all-zero weight vector built a sampler")
+	}
+}
+
+// TestCategoricalSingleExtremes checks singleton vectors across the
+// float range: any single positive weight normalizes to probability 1.
+func TestCategoricalSingleExtremes(t *testing.T) {
+	for _, w := range []float64{1e-300, 1e-3, 1, 1e300} {
+		c, err := NewCategorical([]float64{w})
+		if err != nil {
+			t.Fatalf("weight %v: %v", w, err)
+		}
+		if c.Prob(0) != 1 {
+			t.Fatalf("weight %v: Prob(0) = %v, want 1", w, c.Prob(0))
+		}
+		r := New(93)
+		for i := 0; i < 100; i++ {
+			if c.Sample(r) != 0 {
+				t.Fatalf("weight %v: sampled nonzero index", w)
+			}
+		}
+	}
+}
+
+// TestCategoricalExtremeRatio keeps tiny survivors samplable next to
+// dominant ones without the alias table degenerating.
+func TestCategoricalExtremeRatio(t *testing.T) {
+	c, err := NewCategorical([]float64{1e-9, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Prob(0); math.Abs(got-1e-9/(1+1e-9)) > 1e-18 {
+		t.Fatalf("Prob(0) = %v", got)
+	}
+	if got := c.Prob(1); got < 0.999999 {
+		t.Fatalf("Prob(1) = %v, want ~1", got)
+	}
+}
+
+// TestCategoricalProbsIsACopy guards the sampler's immutability
+// contract: callers mutating the returned vector must not corrupt the
+// shared distribution.
+func TestCategoricalProbsIsACopy(t *testing.T) {
+	c := MustCategorical([]float64{1, 3})
+	p := c.Probs()
+	p[0] = 0.99
+	if c.Prob(0) != 0.25 {
+		t.Fatalf("Probs() aliases internal state: Prob(0) = %v", c.Prob(0))
+	}
+}

@@ -201,6 +201,7 @@ func gamma(r *Source, shape float64) float64 {
 func WeightedChoice(r *Source, weights map[string]float64) string {
 	keys := make([]string, 0, len(weights))
 	total := 0.0
+	//rhmd:ignore determinism collection only: keys are sorted below before any draw depends on order
 	for k, w := range weights {
 		if w > 0 {
 			keys = append(keys, k)
