@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet lint build test race bench fuzz crashtest check clean
+.PHONY: all fmt vet lint build test race bench trace-smoke fuzz crashtest check clean
 
 all: check
 
@@ -34,6 +34,13 @@ race:
 # regressions that crash, without the cost of a timed run.
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+# End-to-end smoke for verdict span tracing: boot rhmd-monitor with
+# -trace-verdicts, scrape /traces, and fail unless the kept set is
+# non-empty and the sampler's kept counter agrees. CI runs this in the
+# bench job so the tracing pipeline stays wired, not just unit-tested.
+trace-smoke:
+	./scripts/trace_smoke.sh
 
 # Short fuzzing pass over the persistence layer; CI runs the seed corpus
 # via plain `go test`, this target digs deeper locally.

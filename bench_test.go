@@ -22,6 +22,7 @@ import (
 	"rhmd/internal/features"
 	"rhmd/internal/monitor"
 	"rhmd/internal/obs"
+	"rhmd/internal/obs/span"
 )
 
 var (
@@ -228,6 +229,35 @@ func BenchmarkMonitorInstrumented(b *testing.B) {
 		c.Metrics = reg
 		c.Tracer = tracer
 	})
+	var sink strings.Builder
+	if err := reg.WritePrometheus(&sink); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMonitorSpans is the guard for the verdict-tracing PR: the
+// full instrumented wiring of BenchmarkMonitorInstrumented plus a span
+// recorder at production sampling defaults and exemplars on. The delta
+// against BenchmarkMonitorInstrumented is exactly the per-verdict span
+// cost — pooled span records, an injected clock read per span edge, and
+// a flags-check at Finish — and must stay under 10% (see
+// results/bench-spans.txt for a committed run).
+func BenchmarkMonitorSpans(b *testing.B) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(1 << 14)
+	rec, err := span.NewRecorder(span.Config{Seed: 42, Now: time.Now}, reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchmarkMonitor(b, func(c *monitor.Config) {
+		c.Metrics = reg
+		c.Tracer = tracer
+		c.Spans = rec
+		c.Exemplars = true
+	})
+	if rec.Kept()+rec.Dropped() == 0 {
+		b.Fatal("no verdict traces reached the tail sampler")
+	}
 	var sink strings.Builder
 	if err := reg.WritePrometheus(&sink); err != nil {
 		b.Fatal(err)

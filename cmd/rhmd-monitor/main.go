@@ -11,10 +11,21 @@
 //	rhmd-monitor -inject 4:panic -until 4:30        # detector 4 recovers
 //	rhmd-monitor -metrics-addr :9090 -snapshot-every 2s
 //	rhmd-monitor -trace-out events.json -json       # machine-readable
+//	rhmd-monitor -trace-verdicts -slow-ms 20 -exemplars -metrics-addr :9090
 //
 // With -metrics-addr set, the monitor serves live introspection while it
-// runs: Prometheus metrics on /metrics, the structured event ring on
-// /traces, and net/http/pprof on /debug/pprof/.
+// runs: Prometheus/OpenMetrics metrics on /metrics (format negotiated
+// from the Accept header), the structured event ring on /events, kept
+// per-verdict span traces on /traces (with -trace-verdicts), and
+// net/http/pprof on /debug/pprof/.
+//
+// -trace-verdicts records a span tree per submission (enqueue, queue
+// wait, worker pickup, feature extraction, switching draws, per-window
+// classification, vote, WAL fsync) and tail-samples which trees to
+// keep: slow (-slow-ms), shed, retried, errored or breaker-affected
+// verdicts always, plus a 1-in-N baseline (-keep-every). -exemplars
+// additionally stamps trace IDs onto the latency histograms as
+// OpenMetrics exemplars.
 package main
 
 import (
@@ -35,6 +46,7 @@ import (
 	"rhmd/internal/features"
 	"rhmd/internal/monitor"
 	"rhmd/internal/obs"
+	"rhmd/internal/obs/span"
 	"rhmd/internal/prog"
 )
 
@@ -59,6 +71,11 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print the survival report as JSON instead of text")
 	ckptDir := flag.String("checkpoint-dir", "", "durable checkpoint directory: verdicts are write-ahead-logged, snapshots taken periodically, and a previous run's state is restored on start")
 	ckptEvery := flag.Duration("checkpoint-every", 2*time.Second, "periodic snapshot interval (with -checkpoint-dir)")
+	traceVerdicts := flag.Bool("trace-verdicts", false, "record a per-verdict span tree and tail-sample kept traces onto /traces")
+	slowMs := flag.Int("slow-ms", 50, "verdicts slower than this are always kept by the tail sampler (with -trace-verdicts)")
+	keepEvery := flag.Int("keep-every", 128, "keep every N-th verdict trace as a healthy baseline; 1 keeps all, -1 disables the baseline (with -trace-verdicts)")
+	exemplars := flag.Bool("exemplars", false, "attach kept-trace IDs to latency histograms as OpenMetrics exemplars (with -trace-verdicts)")
+	hold := flag.Duration("hold", 0, "keep the observability endpoint up this long after the run drains (for scrapers and smoke tests)")
 	flag.Parse()
 
 	// In -json mode stdout carries exactly one JSON document; everything
@@ -98,6 +115,20 @@ func main() {
 	if *traceOut != "" || *metricsAddr != "" || *ckptDir != "" {
 		tracer = obs.NewTracer(*traceCap)
 	}
+	// The engine's registry is built here (instead of engine-private) so
+	// the span recorder's kept/dropped counters land beside the engine's
+	// own instruments on the same /metrics scrape.
+	reg := obs.NewRegistry()
+	var spans *span.Recorder
+	if *traceVerdicts {
+		spans, err = span.NewRecorder(span.Config{
+			Seed:      *seed,
+			Now:       time.Now,
+			Slow:      time.Duration(*slowMs) * time.Millisecond,
+			KeepEvery: *keepEvery,
+		}, reg)
+		check(err)
+	}
 	var store *checkpoint.Store
 	if *ckptDir != "" {
 		store, err = checkpoint.Open(*ckptDir, checkpoint.Options{})
@@ -116,7 +147,10 @@ func main() {
 		WindowDeadline:  *deadline,
 		ProbeAfter:      *probeAfter,
 		Injector:        injector,
+		Metrics:         reg,
 		Tracer:          tracer,
+		Spans:           spans,
+		Exemplars:       *exemplars,
 		Checkpoint:      store,
 		CheckpointEvery: *ckptEvery,
 	})
@@ -131,17 +165,6 @@ func main() {
 				restored.Gen, restored.Replayed, restored.Fallbacks,
 				st.ProgramsProcessed+st.ProgramsFailed, st.Windows)
 		}
-	}
-
-	if *metricsAddr != "" {
-		addr, shutdown, err := obs.ListenAndServe(*metricsAddr, e.Registry(), tracer)
-		check(err)
-		defer func() {
-			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			defer cancel()
-			shutdown(ctx)
-		}()
-		fmt.Fprintf(info, "observability endpoint on http://%s (/metrics, /traces, /debug/pprof)\n", addr)
 	}
 
 	// Graceful shutdown: the first SIGINT/SIGTERM stops submissions and
@@ -161,6 +184,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "shutdown: aborting")
 		hardStop()
 	}()
+
+	if *metricsAddr != "" {
+		var mounts []obs.Mount
+		if spans != nil {
+			mounts = append(mounts, obs.Mount{Path: "/traces", Handler: spans.Handler()})
+		}
+		addr, shutdown, err := obs.ListenAndServe(*metricsAddr, e.Registry(), tracer, mounts...)
+		check(err)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			shutdown(ctx)
+		}()
+		if *hold > 0 {
+			// Registered after the shutdown defer, so it runs first: the
+			// endpoint stays scrapeable for the hold window (a signal cuts
+			// it short), then the server shuts down.
+			holdFor := *hold
+			defer func() {
+				fmt.Fprintf(os.Stderr, "holding observability endpoint for %v\n", holdFor)
+				select {
+				case <-time.After(holdFor):
+				case <-stopping:
+				}
+			}()
+		}
+		fmt.Fprintf(info, "observability endpoint on http://%s (/metrics, /events, /traces, /debug/pprof)\n", addr)
+	}
 
 	start := time.Now()
 	e.Start(workerCtx)
@@ -207,20 +258,29 @@ func main() {
 	correct, total := 0, 0
 	for rep := range e.Results() {
 		if rep.Err != nil {
-			fmt.Fprintf(info, "  %-18s ERROR: %v\n", rep.Program, rep.Err)
+			if *jsonOut {
+				printVerdictJSON(rep)
+			} else {
+				fmt.Fprintf(info, "  %-18s ERROR: %v%s\n", rep.Program, rep.Err, traceSuffix(rep.TraceID))
+			}
 			continue
 		}
 		total++
 		if rep.Malware == (rep.Label == prog.Malware) {
 			correct++
 		}
-		if *verbose {
+		if *jsonOut {
+			// One JSON verdict line per program on stderr (stdout stays a
+			// single report document). trace_id is always present: empty
+			// means the tail sampler dropped the trace or tracing is off.
+			printVerdictJSON(rep)
+		} else if *verbose {
 			verdict := "benign "
 			if rep.Malware {
 				verdict = "MALWARE"
 			}
-			fmt.Fprintf(info, "  %-18s %s  %3d/%3d windows flagged, %d degraded, %d dropped\n",
-				rep.Program, verdict, rep.Flagged, rep.Windows, rep.Degraded, rep.Dropped)
+			fmt.Fprintf(info, "  %-18s %s  %3d/%3d windows flagged, %d degraded, %d dropped%s\n",
+				rep.Program, verdict, rep.Flagged, rep.Windows, rep.Degraded, rep.Dropped, traceSuffix(rep.TraceID))
 		}
 	}
 	elapsed := time.Since(start)
@@ -251,6 +311,39 @@ func main() {
 	if total > 0 {
 		fmt.Printf("verdict accuracy: %.1f%% (%d/%d)\n", 100*float64(correct)/float64(total), correct, total)
 	}
+}
+
+// printVerdictJSON emits one machine-readable verdict line to stderr.
+// trace_id is deliberately not omitempty: a consumer joining verdicts
+// to /traces can rely on the field existing on every line.
+func printVerdictJSON(rep monitor.Report) {
+	line := struct {
+		Program  string `json:"program"`
+		Malware  bool   `json:"malware"`
+		Windows  int    `json:"windows"`
+		Flagged  int    `json:"flagged"`
+		Degraded int    `json:"degraded"`
+		Dropped  int    `json:"dropped"`
+		Err      string `json:"err,omitempty"`
+		TraceID  string `json:"trace_id"`
+	}{rep.Program, rep.Malware, rep.Windows, rep.Flagged, rep.Degraded, rep.Dropped, "", rep.TraceID}
+	if rep.Err != nil {
+		line.Err = rep.Err.Error()
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "encoding verdict line: %v\n", err)
+		return
+	}
+	fmt.Fprintln(os.Stderr, string(b))
+}
+
+// traceSuffix renders a kept trace ID for a text verdict line.
+func traceSuffix(id string) string {
+	if id == "" {
+		return ""
+	}
+	return "  trace=" + id
 }
 
 // writeTrace drains the event ring as JSON to path ("-" = stdout).

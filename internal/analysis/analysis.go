@@ -123,8 +123,12 @@ var Scopes = map[string][]string{
 	// Determinism is an experiment-reproducibility property: the paper's
 	// evade/retrain games (Sections 6-7) are only comparable across runs
 	// if corpus synthesis, sampling and the game loop draw exclusively
-	// from the injected seeded rng.Source.
-	"determinism": {"internal/prog", "internal/rng", "internal/experiments", "internal/game"},
+	// from the injected seeded rng.Source. The span package is in scope
+	// for the same reason in miniature: trace IDs come from a seeded
+	// SplitMix64 stream and timestamps from the injected Config.Now, so
+	// a stray time.Now or math/rand would silently break replayable
+	// traces.
+	"determinism": {"internal/prog", "internal/rng", "internal/experiments", "internal/game", "internal/obs/span"},
 	// The fsync-before-rename protocol is the durability layer's
 	// contract; persistence helpers in hmd/core and the monitor's
 	// checkpoint path route through it.

@@ -11,6 +11,7 @@ import (
 	"rhmd/internal/checkpoint"
 	"rhmd/internal/core"
 	"rhmd/internal/obs"
+	"rhmd/internal/obs/span"
 )
 
 // Durability. The paper's RHMD lives in hardware, where the detector's
@@ -166,10 +167,23 @@ func (e *Engine) SnapshotState() *EngineState {
 // Checkpoint flushes a snapshot generation now. It is a no-op without a
 // configured store. Safe to call concurrently with traffic: verdict
 // commits are excluded for the duration of the capture + WAL rotation.
-func (e *Engine) Checkpoint() (uint64, error) {
+// Each flush is its own root span trace (stage "checkpoint"), so a
+// snapshot stall shows up on /traces next to the verdicts it delayed.
+func (e *Engine) Checkpoint() (gen uint64, err error) {
 	if e.ckpt == nil {
 		return 0, nil
 	}
+	tr := e.spans.Start("checkpoint", span.StageCheckpoint)
+	defer func() {
+		if err != nil {
+			tr.Flag(span.ReasonErrored)
+			if r := tr.Root(); r != nil {
+				r.Err = err.Error()
+			}
+		}
+		tr.SetVerdict("checkpoint")
+		tr.Finish()
+	}()
 	e.ckptMu.Lock()
 	defer e.ckptMu.Unlock()
 	payload, err := json.Marshal(e.SnapshotState())
@@ -283,8 +297,11 @@ func (e *Engine) applyEntry(entry checkpoint.Entry) error {
 // commitVerdict applies a finished program's accounting and durably
 // logs it, as one unit relative to snapshot capture. Every window of
 // the program lands in a bucket whether or not the program failed
-// mid-trace; the program itself lands in processed or failed.
-func (e *Engine) commitVerdict(rep Report) {
+// mid-trace; the program itself lands in processed or failed. tr/ws
+// are the verdict's trace and its open wal-fsync span (nil when
+// untraced): a failed WAL append marks both, so losing a verdict's
+// durability always leaves a kept trace behind.
+func (e *Engine) commitVerdict(rep Report, tr *span.Trace, ws *span.Span) {
 	e.ckptMu.RLock()
 	defer e.ckptMu.RUnlock()
 	e.ins.windows.Add(uint64(rep.Windows))
@@ -313,6 +330,10 @@ func (e *Engine) commitVerdict(rep Report) {
 	if err != nil {
 		// A failed append costs durability of this one verdict, not the
 		// engine: surface it on the trace and keep serving.
+		tr.Flag(span.ReasonErrored)
+		if ws != nil {
+			ws.Err = err.Error()
+		}
 		e.tracer.Emit(obs.Event{Kind: obs.EvCheckpointSave, Program: rep.Program, Detector: -1, Window: -1,
 			Detail: fmt.Sprintf("WAL append failed: %v", err)})
 	}
@@ -320,11 +341,12 @@ func (e *Engine) commitVerdict(rep Report) {
 
 // commitTransition runs the breaker state machine for one
 // classification outcome and durably logs any live-set change, as one
-// unit relative to snapshot capture.
-func (e *Engine) commitTransition(idx int, ok bool, latency time.Duration) {
+// unit relative to snapshot capture. exemplarID joins the latency
+// observation to its verdict trace (see healthBoard.report).
+func (e *Engine) commitTransition(idx int, ok bool, latency time.Duration, exemplarID string) {
 	e.ckptMu.RLock()
 	defer e.ckptMu.RUnlock()
-	quarantined, restored := e.health.report(idx, ok, latency)
+	quarantined, restored := e.health.report(idx, ok, latency, exemplarID)
 	if e.ckpt == nil || (!quarantined && !restored) {
 		return
 	}

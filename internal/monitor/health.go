@@ -58,6 +58,7 @@ type healthBoard struct {
 	mu       sync.Mutex
 	breakers []breaker
 	sampler  *rng.Categorical // nil when every detector is quarantined
+	probs    []float64        // sampler.Probs() cached per rebuild for pick
 	windows  uint64           // pool-wide processed-window counter
 
 	quarantines uint64
@@ -130,6 +131,7 @@ func (b *healthBoard) rebuildLocked() {
 	}
 	if !any {
 		b.sampler = nil
+		b.probs = nil
 		return
 	}
 	cat, err := b.rhmd.LiveSampler(live)
@@ -137,9 +139,14 @@ func (b *healthBoard) rebuildLocked() {
 		// Unreachable: live is non-empty and weights come from a
 		// validated RHMD. Treat as all-dead rather than crash the engine.
 		b.sampler = nil
+		b.probs = nil
 		return
 	}
 	b.sampler = cat
+	// Cache the renormalized distribution: pick reports the drawn
+	// detector's weight on every window and must not re-derive the
+	// slice per draw.
+	b.probs = cat.Probs()
 }
 
 // pick selects the detector for the next window. An Open breaker that
@@ -148,7 +155,10 @@ func (b *healthBoard) rebuildLocked() {
 // the renormalized live distribution. It returns index -1 when no
 // detector is available (all quarantined, none probe-eligible) — the
 // caller must count that window as dropped, never lose it silently.
-func (b *healthBoard) pick(src *rng.Source) (idx int, probe bool) {
+// weight is the drawn detector's renormalized switching probability at
+// draw time (0 for probes and dropped picks) — the draw-span latency
+// attribution the verdict trace records.
+func (b *healthBoard) pick(src *rng.Source) (idx int, probe bool, weight float64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for i := range b.breakers {
@@ -159,11 +169,11 @@ func (b *healthBoard) pick(src *rng.Source) (idx int, probe bool) {
 				b.ins.state[i].Set(float64(HalfOpen))
 			}
 			b.tracer.Emit(obs.Event{Kind: obs.EvProbe, Detector: i, Window: -1})
-			return i, true
+			return i, true, 0
 		}
 	}
 	if b.sampler == nil {
-		return -1, false
+		return -1, false, 0
 	}
 	idx = b.sampler.Sample(src)
 	if b.ins != nil {
@@ -171,7 +181,7 @@ func (b *healthBoard) pick(src *rng.Source) (idx int, probe bool) {
 		// distribution against the renormalized LiveSampler weights.
 		b.ins.draws[idx].Inc()
 	}
-	return idx, false
+	return idx, false, b.probs[idx]
 }
 
 // liveFallbacks returns the live detector indices excluding exclude,
@@ -222,14 +232,17 @@ func (b *healthBoard) windowDone() {
 // report records one classification outcome for detector idx and runs
 // the breaker state machine. It returns true when the live set changed
 // (quarantine or restore), which the engine surfaces in its stats.
-func (b *healthBoard) report(idx int, ok bool, latency time.Duration) (quarantined, restored bool) {
+// exemplarID, when non-empty, is the verdict trace ID attached to the
+// latency observation as an OpenMetrics exemplar, joining the bucket
+// the observation lands in back to its trace on /traces.
+func (b *healthBoard) report(idx int, ok bool, latency time.Duration, exemplarID string) (quarantined, restored bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	br := &b.breakers[idx]
 	br.calls++
 	br.latencyNs += latency.Nanoseconds()
 	if b.ins != nil {
-		b.ins.latency[idx].ObserveDuration(latency)
+		b.ins.latency[idx].ObserveExemplar(latency.Seconds(), exemplarID, 0)
 	}
 	if ok {
 		br.consecFails = 0

@@ -31,11 +31,11 @@ func TestBreakerQuarantineAndRenormalize(t *testing.T) {
 	b := newHealthBoard(shellPool(t, 4), 3, 10)
 	// Two failures keep the breaker closed; the third opens it.
 	for i := 0; i < 2; i++ {
-		if q, _ := b.report(1, false, time.Millisecond); q {
+		if q, _ := b.report(1, false, time.Millisecond, ""); q {
 			t.Fatalf("quarantined after %d failures", i+1)
 		}
 	}
-	q, _ := b.report(1, false, time.Millisecond)
+	q, _ := b.report(1, false, time.Millisecond, "")
 	if !q {
 		t.Fatal("threshold failure did not quarantine")
 	}
@@ -59,12 +59,16 @@ func TestBreakerQuarantineAndRenormalize(t *testing.T) {
 	// The quarantined detector is never sampled.
 	src := rng.New(9)
 	for i := 0; i < 500; i++ {
-		idx, probe := b.pick(src)
+		idx, probe, w := b.pick(src)
 		if probe {
 			t.Fatal("probe before cooldown")
 		}
 		if idx == 1 {
 			t.Fatal("sampled a quarantined detector")
+		}
+		// Every live draw reports its renormalized switching weight.
+		if math.Abs(w-1.0/3) > 1e-12 {
+			t.Fatalf("draw weight %.4f, want 1/3", w)
 		}
 		b.windowDone()
 		if i == 8 {
@@ -75,11 +79,11 @@ func TestBreakerQuarantineAndRenormalize(t *testing.T) {
 
 func TestBreakerSuccessResetsStreak(t *testing.T) {
 	b := newHealthBoard(shellPool(t, 2), 3, 10)
-	b.report(0, false, 0)
-	b.report(0, false, 0)
-	b.report(0, true, 0)
-	b.report(0, false, 0)
-	b.report(0, false, 0)
+	b.report(0, false, 0, "")
+	b.report(0, false, 0, "")
+	b.report(0, true, 0, "")
+	b.report(0, false, 0, "")
+	b.report(0, false, 0, "")
 	if det, _, _ := b.snapshot(); det[0].State != Closed {
 		t.Fatal("interleaved success did not reset the failure streak")
 	}
@@ -87,32 +91,35 @@ func TestBreakerSuccessResetsStreak(t *testing.T) {
 
 func TestBreakerProbeRestoreAndRequarantine(t *testing.T) {
 	b := newHealthBoard(shellPool(t, 3), 1, 5)
-	b.report(2, false, 0) // threshold 1: quarantine immediately
+	b.report(2, false, 0, "") // threshold 1: quarantine immediately
 	src := rng.New(3)
 	for i := 0; i < 5; i++ {
-		if _, probe := b.pick(src); probe {
+		if _, probe, _ := b.pick(src); probe {
 			t.Fatalf("probe fired after %d windows, cooldown is 5", i)
 		}
 		b.windowDone()
 	}
-	idx, probe := b.pick(src)
+	idx, probe, w := b.pick(src)
 	if !probe || idx != 2 {
 		t.Fatalf("want probe of detector 2 after cooldown, got idx=%d probe=%v", idx, probe)
 	}
+	if w != 0 {
+		t.Fatalf("probe pick carries weight %.4f, want 0", w)
+	}
 	// Failed probe: straight back to quarantine, no restore counted.
-	b.report(2, false, 0)
+	b.report(2, false, 0, "")
 	if det, _, restores := b.snapshot(); det[2].State != Open || restores != 0 {
 		t.Fatalf("failed probe: state %v restores %d", det[2].State, restores)
 	}
 	for i := 0; i < 5; i++ {
 		b.windowDone()
 	}
-	idx, probe = b.pick(src)
+	idx, probe, _ = b.pick(src)
 	if !probe || idx != 2 {
 		t.Fatalf("second probe not offered: idx=%d probe=%v", idx, probe)
 	}
 	// Successful probe restores the detector and its weight.
-	b.report(2, true, 0)
+	b.report(2, true, 0, "")
 	det, _, restores := b.snapshot()
 	if det[2].State != Closed || restores != 1 {
 		t.Fatalf("restore failed: state %v restores %d", det[2].State, restores)
@@ -124,10 +131,10 @@ func TestBreakerProbeRestoreAndRequarantine(t *testing.T) {
 
 func TestCancelProbeReopens(t *testing.T) {
 	b := newHealthBoard(shellPool(t, 2), 1, 2)
-	b.report(0, false, 0)
+	b.report(0, false, 0, "")
 	b.windowDone()
 	b.windowDone()
-	idx, probe := b.pick(rng.New(1))
+	idx, probe, _ := b.pick(rng.New(1))
 	if !probe || idx != 0 {
 		t.Fatalf("no probe offered: idx=%d probe=%v", idx, probe)
 	}
@@ -137,16 +144,16 @@ func TestCancelProbeReopens(t *testing.T) {
 		t.Fatalf("cancelled probe left state %v", det[0].State)
 	}
 	// Still probe-eligible on the next pick.
-	if idx, probe = b.pick(rng.New(1)); !probe || idx != 0 {
+	if idx, probe, _ = b.pick(rng.New(1)); !probe || idx != 0 {
 		t.Fatal("cancelled probe lost eligibility")
 	}
 }
 
 func TestAllQuarantinedPickDrops(t *testing.T) {
 	b := newHealthBoard(shellPool(t, 2), 1, 1000)
-	b.report(0, false, 0)
-	b.report(1, false, 0)
-	idx, probe := b.pick(rng.New(1))
+	b.report(0, false, 0, "")
+	b.report(1, false, 0, "")
+	idx, probe, _ := b.pick(rng.New(1))
 	if idx != -1 || probe {
 		t.Fatalf("all-dead pool picked idx=%d probe=%v", idx, probe)
 	}

@@ -32,6 +32,7 @@ import (
 	"rhmd/internal/checkpoint"
 	"rhmd/internal/core"
 	"rhmd/internal/obs"
+	"rhmd/internal/obs/span"
 	"rhmd/internal/prog"
 )
 
@@ -75,6 +76,19 @@ type Config struct {
 	// (submit → extract → window → verdict, plus fault and breaker
 	// events). Nil disables tracing at zero cost.
 	Tracer *obs.Tracer
+	// Spans, when non-nil, records a per-verdict span tree for every
+	// submission — enqueue, queue wait, worker pickup, feature
+	// extraction, each switching draw (detector + renormalized weight),
+	// each window's classification, the vote, and the WAL fsync — and
+	// tail-samples which trees to keep (see internal/obs/span). Nil
+	// disables verdict tracing; every span call is nil-safe so the hot
+	// path carries no flag checks.
+	Spans *span.Recorder
+	// Exemplars attaches the verdict trace ID to per-detector latency
+	// observations as OpenMetrics exemplars. Requires Spans; only the
+	// OpenMetrics exposition renders them, so 0.0.4 scrapes are
+	// byte-identical either way.
+	Exemplars bool
 	// Checkpoint, when non-nil, makes the engine durable: verdicts and
 	// breaker transitions are write-ahead-logged as they happen,
 	// snapshots are flushed every CheckpointEvery and once more on
@@ -134,6 +148,22 @@ type Report struct {
 	// Err is set when the program could not be traced at all; the other
 	// fields are zero in that case.
 	Err error
+	// TraceID is the verdict's span-trace identifier when the tail
+	// sampler kept the trace (query it on /traces); empty when the
+	// trace was dropped or verdict tracing is disabled.
+	TraceID string
+}
+
+// submission carries one queued program together with its verdict
+// trace. The trace is single-owner: the submitter records the enqueue,
+// the channel send is the happens-before handoff, and the worker
+// records everything after pickup — no locking on the trace.
+type submission struct {
+	p *prog.Program
+	// tr is nil when verdict tracing is disabled; wait is the open
+	// queue-wait span the worker closes at pickup.
+	tr   *span.Trace
+	wait *span.Span
 }
 
 // Engine streams programs through an RHMD pool. Construct with New,
@@ -143,13 +173,14 @@ type Engine struct {
 	rhmd *core.RHMD
 	cfg  Config
 
-	queue   chan *prog.Program
+	queue   chan submission
 	results chan Report
 	wg      sync.WaitGroup
 	health  *healthBoard
 	reg     *obs.Registry
 	ins     *instruments
 	tracer  *obs.Tracer
+	spans   *span.Recorder
 
 	// ckpt is the durability store (nil = volatile engine). ckptMu
 	// orders verdict/transition commits (shared) against snapshot
@@ -178,15 +209,19 @@ func New(r *core.RHMD, cfg Config) (*Engine, error) {
 	e := &Engine{
 		rhmd:    r,
 		cfg:     cfg,
-		queue:   make(chan *prog.Program, cfg.QueueDepth),
+		queue:   make(chan submission, cfg.QueueDepth),
 		results: make(chan Report, cfg.QueueDepth),
 		health:  newHealthBoard(r, cfg.FailureThreshold, uint64(cfg.ProbeAfter)),
 		reg:     reg,
 		ins:     newInstruments(reg, r),
 		tracer:  cfg.Tracer,
+		spans:   cfg.Spans,
 		ckpt:    cfg.Checkpoint,
 		done:    make(chan struct{}),
 	}
+	// Surface the event ring's overwrite drops as a scrapeable counter
+	// alongside the engine's own instruments (nil-safe no-op).
+	e.tracer.Instrument(reg)
 	e.health.attach(e.ins, e.tracer)
 	if e.ckpt != nil {
 		e.ckpt.Instrument(reg, cfg.Tracer)
@@ -240,21 +275,46 @@ func (e *Engine) Submit(p *prog.Program) bool {
 	e.mu.Lock()
 	closed := e.closed
 	e.mu.Unlock()
+	tr := e.spans.Start(p.Name, span.StageVerdict)
 	if closed {
 		e.ins.shed.Inc()
 		e.tracer.Emit(obs.Event{Kind: obs.EvShed, Program: p.Name, Detector: -1, Window: -1, Detail: "engine closed"})
+		e.finishShed(tr, "engine closed")
 		return false
 	}
+	enq := tr.StartSpan(span.StageEnqueue, nil)
+	// The queue-wait span opens before the send so its start is the
+	// enqueue instant; the worker closes it at pickup.
+	wait := tr.StartSpan(span.StageQueueWait, nil)
 	select {
-	case e.queue <- p:
+	case e.queue <- submission{p: p, tr: tr, wait: wait}:
+		tr.EndSpan(enq)
 		e.ins.queueDepth.Inc()
 		e.tracer.Emit(obs.Event{Kind: obs.EvSubmit, Program: p.Name, Detector: -1, Window: -1})
 		return true
 	default:
+		tr.EndSpan(enq)
+		tr.EndSpan(wait)
 		e.ins.shed.Inc()
 		e.tracer.Emit(obs.Event{Kind: obs.EvShed, Program: p.Name, Detector: -1, Window: -1, Detail: "queue full"})
+		e.finishShed(tr, "queue full")
 		return false
 	}
+}
+
+// finishShed terminates a shed submission's trace: a shed is always a
+// keep-worthy tail event (it is the engine failing visibly), so the
+// trace is flagged and finished on the spot.
+func (e *Engine) finishShed(tr *span.Trace, why string) {
+	if tr == nil {
+		return
+	}
+	if r := tr.Root(); r != nil {
+		r.Err = why
+	}
+	tr.Flag(span.ReasonShed)
+	tr.SetVerdict("shed")
+	tr.Finish()
 }
 
 // Results returns the report stream. It is closed after Close (or
@@ -302,20 +362,46 @@ func (e *Engine) worker(ctx context.Context) {
 		select {
 		case <-ctx.Done():
 			return
-		case p, ok := <-e.queue:
+		case sub, ok := <-e.queue:
 			if !ok {
 				return
 			}
 			e.ins.queueDepth.Dec()
-			rep := e.process(ctx, p)
+			tr := sub.tr
+			tr.EndSpan(sub.wait)
+			wk := tr.StartSpan(span.StageWorker, nil)
+			rep := e.process(ctx, sub.p, tr, wk)
+			tr.EndSpan(wk)
 			// Commit (count + WAL-log) before the report becomes
 			// visible: a consumer-observed verdict is always durable.
-			e.commitVerdict(rep)
+			ws := tr.StartSpan(span.StageWALFsync, nil)
+			e.commitVerdict(rep, tr, ws)
+			tr.EndSpan(ws)
+			if rep.Err != nil {
+				tr.Flag(span.ReasonErrored)
+				if r := tr.Root(); r != nil {
+					r.Err = rep.Err.Error()
+				}
+			}
+			tr.SetVerdict(verdictLabel(rep))
+			rep.TraceID = tr.Finish()
 			select {
 			case e.results <- rep:
 			case <-ctx.Done():
 				return
 			}
 		}
+	}
+}
+
+// verdictLabel names a report's terminal outcome for the kept trace.
+func verdictLabel(rep Report) string {
+	switch {
+	case rep.Err != nil:
+		return "failed"
+	case rep.Malware:
+		return "malware"
+	default:
+		return "benign"
 	}
 }

@@ -124,7 +124,7 @@ func TestMetricsEndpointServesSwitchingDistribution(t *testing.T) {
 	}
 
 	// The event ring drains over the same mux and saw the lifecycle.
-	tbody, tct := scrape(t, srv, "/traces")
+	tbody, tct := scrape(t, srv, "/events")
 	if !strings.HasPrefix(tct, "application/json") {
 		t.Fatalf("trace content type %q", tct)
 	}

@@ -9,6 +9,7 @@ import (
 
 	"rhmd/internal/features"
 	"rhmd/internal/obs"
+	"rhmd/internal/obs/span"
 	"rhmd/internal/prog"
 )
 
@@ -20,8 +21,10 @@ var ErrDeadline = errors.New("monitor: window deadline exceeded")
 // live pool, classify each with fault handling, aggregate the
 // majority-rule verdict. A panic anywhere in tracing or extraction is
 // converted into a program-level error so one poisoned trace cannot
-// take a worker down.
-func (e *Engine) process(ctx context.Context, p *prog.Program) (rep Report) {
+// take a worker down. tr is the verdict's span trace (nil when verdict
+// tracing is off) and wk the enclosing worker span; process hangs
+// feature-extraction, draw, classify and vote spans off them.
+func (e *Engine) process(ctx context.Context, p *prog.Program, tr *span.Trace, wk *span.Span) (rep Report) {
 	started := time.Now()
 	rep = Report{Program: p.Name, Label: p.Label}
 	defer func() {
@@ -50,11 +53,22 @@ func (e *Engine) process(ctx context.Context, p *prog.Program) (rep Report) {
 			}
 		}
 	}()
+	feat := tr.StartSpan(span.StageFeatures, wk)
 	next := func() int {
 		// pick also owns probe routing: a cooled-down quarantined
 		// detector is handed this window half-open, and the breaker
 		// resolves the probe from the classification outcome.
-		idx, probe := e.health.pick(src)
+		ds := tr.StartSpan(span.StageDraw, feat)
+		idx, probe, weight := e.health.pick(src)
+		if ds != nil {
+			ds.Detector, ds.Weight = idx, weight
+		}
+		tr.EndSpan(ds)
+		if probe {
+			// A half-open probe window is breaker-affected by
+			// definition: the trace shows which draw it rode in on.
+			tr.Flag(span.ReasonBreaker)
+		}
 		seq = append(seq, idx)
 		probes = append(probes, probe)
 		if idx < 0 {
@@ -66,7 +80,11 @@ func (e *Engine) process(ctx context.Context, p *prog.Program) (rep Report) {
 		return e.rhmd.Detectors[idx].Spec.Period
 	}
 	ws, err := features.ExtractScheduled(p, next, e.cfg.TraceLen)
+	tr.EndSpan(feat)
 	if err != nil {
+		if feat != nil {
+			feat.Err = err.Error()
+		}
 		rep.Err = fmt.Errorf("monitor: extracting %q: %w", p.Name, err)
 		e.tracer.Emit(obs.Event{Kind: obs.EvExtract, Program: p.Name, Detector: -1, Window: -1,
 			Dur: time.Since(started), Detail: err.Error()})
@@ -77,7 +95,12 @@ func (e *Engine) process(ctx context.Context, p *prog.Program) (rep Report) {
 
 	for w := 0; w < ws.Windows; w++ {
 		idx := seq[w]
-		decision, degraded, ok := e.classifyWindow(ctx, p, ws, w, idx)
+		cs := tr.StartSpan(span.StageClassify, wk)
+		if cs != nil {
+			cs.Detector, cs.Window = idx, w
+		}
+		decision, degraded, ok := e.classifyWindow(ctx, p, ws, w, idx, tr, cs)
+		tr.EndSpan(cs)
 		if err := ctx.Err(); err != nil {
 			// Shutdown mid-window: the classify outcome may not have
 			// reached the breaker, so leave seq[w] to the probe-cancel
@@ -92,19 +115,26 @@ func (e *Engine) process(ctx context.Context, p *prog.Program) (rep Report) {
 		// checkpoint layer sees each program's accounting atomically.
 		if !ok {
 			rep.Dropped++
+			tr.Flag(span.ReasonBreaker)
+			if cs != nil && cs.Err == "" {
+				cs.Err = "no live detector"
+			}
 			e.tracer.Emit(obs.Event{Kind: obs.EvDropped, Program: p.Name, Detector: idx, Window: w})
 			continue
 		}
 		rep.Windows++
 		if degraded {
 			rep.Degraded++
+			tr.Flag(span.ReasonBreaker)
 			e.tracer.Emit(obs.Event{Kind: obs.EvDegraded, Program: p.Name, Detector: idx, Window: w})
 		}
 		if decision == 1 {
 			rep.Flagged++
 		}
 	}
+	vote := tr.StartSpan(span.StageVote, wk)
 	rep.Malware = float64(rep.Flagged) >= float64(rep.Windows)/2 && rep.Windows > 0
+	tr.EndSpan(vote)
 	verdict := "benign"
 	if rep.Malware {
 		verdict = "malware"
@@ -120,11 +150,14 @@ func (e *Engine) process(ctx context.Context, p *prog.Program) (rep Report) {
 // means no detector could classify the window (it is dropped and
 // counted). degraded=true means a fallback, not the scheduled detector,
 // produced the decision.
-func (e *Engine) classifyWindow(ctx context.Context, p *prog.Program, ws *features.WindowSet, w, idx int) (decision int, degraded, ok bool) {
+func (e *Engine) classifyWindow(ctx context.Context, p *prog.Program, ws *features.WindowSet, w, idx int, tr *span.Trace, cs *span.Span) (decision int, degraded, ok bool) {
 	if idx >= 0 {
-		dec, err := e.classify(ctx, p, ws, w, idx)
+		dec, err := e.classify(ctx, p, ws, w, idx, tr, cs)
 		if err == nil {
 			return dec, false, true
+		}
+		if cs != nil {
+			cs.Err = err.Error()
 		}
 		if ctx.Err() != nil {
 			return 0, false, false
@@ -134,9 +167,11 @@ func (e *Engine) classifyWindow(ctx context.Context, p *prog.Program, ws *featur
 	// surviving detectors in descending switching weight. Their feature
 	// kind may differ from the scheduled detector's, but the window set
 	// carries every kind, so survivors classify the same hardware
-	// observation through their own feature view.
+	// observation through their own feature view. The classify span
+	// keeps the scheduled detector and its failure; the trace flags the
+	// degradation at the window level.
 	for _, fb := range e.health.liveFallbacks(idx) {
-		dec, err := e.classify(ctx, p, ws, w, fb)
+		dec, err := e.classify(ctx, p, ws, w, fb, tr, nil)
 		if err == nil {
 			return dec, true, true
 		}
@@ -148,8 +183,10 @@ func (e *Engine) classifyWindow(ctx context.Context, p *prog.Program, ws *featur
 }
 
 // classify runs one detector over one window with retry-with-backoff,
-// reporting the final outcome to the health board.
-func (e *Engine) classify(ctx context.Context, p *prog.Program, ws *features.WindowSet, w, idx int) (int, error) {
+// reporting the final outcome to the health board. cs, when non-nil,
+// is the window's classify span: it accumulates the attempt count, and
+// retries flag the trace for the tail sampler.
+func (e *Engine) classify(ctx context.Context, p *prog.Program, ws *features.WindowSet, w, idx int, tr *span.Trace, cs *span.Span) (int, error) {
 	d := e.rhmd.Detectors[idx]
 	vec := ws.Rows(d.Spec.Kind)[w]
 	start := time.Now()
@@ -157,6 +194,10 @@ func (e *Engine) classify(ctx context.Context, p *prog.Program, ws *features.Win
 	for attempt := 0; attempt <= e.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			e.ins.retries.Inc()
+			tr.Flag(span.ReasonRetried)
+			if cs != nil {
+				cs.Attempt = attempt
+			}
 			e.tracer.Emit(obs.Event{Kind: obs.EvRetry, Program: p.Name, Detector: idx, Window: w, Attempt: attempt})
 			backoff := e.cfg.RetryBackoff << (attempt - 1)
 			select {
@@ -173,7 +214,7 @@ func (e *Engine) classify(ctx context.Context, p *prog.Program, ws *features.Win
 			Attempt:  attempt,
 		}, d.ScoreWindow, d.Threshold, vec)
 		if err == nil {
-			e.commitTransition(idx, true, time.Since(start))
+			e.commitTransition(idx, true, time.Since(start), e.exemplarID(tr))
 			return dec, nil
 		}
 		lastErr = err
@@ -188,8 +229,19 @@ func (e *Engine) classify(ctx context.Context, p *prog.Program, ws *features.Win
 				Dur: e.cfg.WindowDeadline})
 		}
 	}
-	e.commitTransition(idx, false, time.Since(start))
+	tr.Flag(span.ReasonErrored)
+	e.commitTransition(idx, false, time.Since(start), e.exemplarID(tr))
 	return 0, lastErr
+}
+
+// exemplarID returns the trace ID to attach to latency observations as
+// an OpenMetrics exemplar, or "" when exemplars are off or the verdict
+// is untraced.
+func (e *Engine) exemplarID(tr *span.Trace) string {
+	if !e.cfg.Exemplars {
+		return ""
+	}
+	return tr.ID()
 }
 
 // classifyOnce is a single deadline-bounded attempt. The detector call

@@ -9,17 +9,26 @@ import (
 	"time"
 )
 
-// Handler returns the /metrics handler: Prometheus text exposition of
-// every registered family.
+// Handler returns the /metrics handler. The exposition format is
+// negotiated from the scraper's Accept header: a client that asks for
+// `application/openmetrics-text` gets the OpenMetrics rendering
+// (exemplars included); everyone else — including every pre-existing
+// scraper — gets the Prometheus 0.0.4 text exposition unchanged.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if AcceptsOpenMetrics(req.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", ContentTypeOpenMetrics)
+			_ = r.WriteOpenMetrics(w)
+			return
+		}
+		w.Header().Set("Content-Type", ContentTypePrometheus)
 		_ = r.WritePrometheus(w)
 	})
 }
 
-// Handler returns the /traces handler: a JSON drain of the surviving
-// ring-buffer events. Works on a nil tracer (empty array).
+// Handler returns the event-ring handler (mounted on /events): a JSON
+// drain of the surviving ring-buffer events. Works on a nil tracer
+// (empty array).
 func (t *Tracer) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -27,20 +36,43 @@ func (t *Tracer) Handler() http.Handler {
 	})
 }
 
-// NewMux assembles the introspection endpoint: /metrics (Prometheus
-// exposition), /traces (JSON event drain), /healthz, and the standard
-// net/http/pprof handlers under /debug/pprof/ — all on one private mux
-// so importing obs never touches http.DefaultServeMux.
-func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
-	mux := http.NewServeMux()
-	if reg != nil {
-		mux.Handle("/metrics", reg.Handler())
+// Mount adds (or overrides) one path on the introspection mux — the
+// hook for handlers obs cannot know about, like the kept verdict
+// traces of internal/obs/span on /traces.
+type Mount struct {
+	Path    string
+	Handler http.Handler
+}
+
+// NewMux assembles the introspection endpoint: /metrics (negotiated
+// Prometheus/OpenMetrics exposition), /events (JSON event-ring drain),
+// /traces (kept verdict traces; an empty set until a span recorder is
+// mounted over it), /healthz, and the standard net/http/pprof handlers
+// under /debug/pprof/ — all on one private mux so importing obs never
+// touches http.DefaultServeMux. Extra mounts override defaults by
+// path.
+func NewMux(reg *Registry, tr *Tracer, mounts ...Mount) *http.ServeMux {
+	handlers := map[string]http.Handler{
+		"/events": tr.Handler(),
+		"/traces": http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			fmt.Fprintln(w, "[]")
+		}),
+		"/healthz": http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+		}),
 	}
-	mux.Handle("/traces", tr.Handler())
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	if reg != nil {
+		handlers["/metrics"] = reg.Handler()
+	}
+	for _, m := range mounts {
+		handlers[m.Path] = m.Handler
+	}
+	mux := http.NewServeMux()
+	for path, h := range handlers {
+		mux.Handle(path, h)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -53,12 +85,12 @@ func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
 // background goroutine and returns the bound address (useful with
 // ":0") plus a shutdown func. The server is plain HTTP: this is a
 // loopback/ops endpoint, not a public surface.
-func ListenAndServe(addr string, reg *Registry, tr *Tracer) (string, func(context.Context) error, error) {
+func ListenAndServe(addr string, reg *Registry, tr *Tracer, mounts ...Mount) (string, func(context.Context) error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewMux(reg, tr), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: NewMux(reg, tr, mounts...), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Shutdown, nil
 }

@@ -28,7 +28,8 @@ func TestListenAndServe(t *testing.T) {
 
 	for path, want := range map[string]string{
 		"/metrics": "lns_total 7",
-		"/traces":  `"kind": "submit"`,
+		"/events":  `"kind": "submit"`,
+		"/traces":  "[]",
 		"/healthz": "ok",
 	} {
 		resp, err := http.Get("http://" + addr + path)

@@ -1,8 +1,9 @@
 // Package obs is the reproduction's observability layer: a
 // dependency-free (stdlib-only) metrics registry, a ring-buffered
 // structured event tracer, and an HTTP endpoint that exposes both —
-// Prometheus text exposition on /metrics, JSON trace drains on /traces,
-// and net/http/pprof on /debug/pprof/.
+// Prometheus/OpenMetrics exposition on /metrics (negotiated from the
+// Accept header), JSON event drains on /events, kept verdict traces
+// (internal/obs/span) on /traces, and net/http/pprof on /debug/pprof/.
 //
 // The registry is built for hot paths: every instrument is a handful of
 // atomics, label lookups happen once at registration time (callers hold
@@ -86,6 +87,19 @@ func (g *Gauge) Dec() { g.Add(-1) }
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// Exemplar is one sampled observation attached to a histogram bucket:
+// the trace that produced the value, for joining a latency bucket back
+// to a kept verdict trace on /traces. Rendered only in the OpenMetrics
+// exposition; the Prometheus 0.0.4 path never sees it.
+type Exemplar struct {
+	// TraceID is the hex trace identifier (the only exemplar label).
+	TraceID string
+	// Value is the observed value, Ts the observation time in unix
+	// seconds (may be zero when the recorder has no timestamp).
+	Value float64
+	Ts    float64
+}
+
 // Histogram counts observations into fixed buckets. Observations and
 // the running sum are atomics; no lock is taken on the observe path.
 type Histogram struct {
@@ -95,6 +109,9 @@ type Histogram struct {
 	counts  []atomic.Uint64
 	total   atomic.Uint64
 	sumBits atomic.Uint64
+	// exemplars holds the latest exemplar per bucket (nil until one is
+	// recorded); aligned with counts.
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 func newHistogram(buckets []float64) *Histogram {
@@ -104,18 +121,27 @@ func newHistogram(buckets []float64) *Histogram {
 	for len(up) > 0 && math.IsInf(up[len(up)-1], 1) {
 		up = up[:len(up)-1]
 	}
-	return &Histogram{upper: up, counts: make([]atomic.Uint64, len(up)+1)}
+	return &Histogram{
+		upper:     up,
+		counts:    make([]atomic.Uint64, len(up)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(up)+1),
+	}
 }
 
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
+// bucketOf returns the index of the bucket v falls into.
+func (h *Histogram) bucketOf(v float64) int {
 	// Linear scan: bucket vectors are small (~10) and the branch
 	// predictor does better here than binary search.
 	i := 0
 	for i < len(h.upper) && v > h.upper[i] {
 		i++
 	}
-	h.counts[i].Add(1)
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucketOf(v)].Add(1)
 	h.total.Add(1)
 	for {
 		old := h.sumBits.Load()
@@ -124,6 +150,28 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and attaches an exemplar carrying
+// the originating trace ID (ts in unix seconds) to the bucket the
+// value lands in. The exemplar is one extra pointer store on top of
+// Observe; an empty traceID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string, ts float64) {
+	if traceID != "" {
+		h.exemplars[h.bucketOf(v)].Store(&Exemplar{TraceID: traceID, Value: v, Ts: ts})
+	}
+	h.Observe(v)
+}
+
+// BucketExemplars returns the latest exemplar recorded per bucket
+// (nil entries where none was recorded), aligned with Buckets' upper
+// bounds plus the trailing +Inf bucket.
+func (h *Histogram) BucketExemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
 }
 
 // ObserveSince records the seconds elapsed since t0 — the idiomatic call

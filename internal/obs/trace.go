@@ -55,6 +55,11 @@ type Event struct {
 type Tracer struct {
 	slots []atomic.Pointer[Event]
 	seq   atomic.Uint64
+	// drops counts events overwritten before any drain saw them; dropC
+	// mirrors the count into a registry counter once Instrument wires
+	// one (nil until then — drops were silent before PR 5).
+	drops atomic.Uint64
+	dropC atomic.Pointer[Counter]
 }
 
 // NewTracer returns a tracer holding the most recent capacity events
@@ -77,7 +82,38 @@ func (t *Tracer) Emit(ev Event) {
 		ev.At = time.Now()
 	}
 	ev.Seq = t.seq.Add(1) - 1
-	t.slots[ev.Seq%uint64(len(t.slots))].Store(&ev)
+	if old := t.slots[ev.Seq%uint64(len(t.slots))].Swap(&ev); old != nil {
+		// The ring was full: the oldest survivor is gone before any
+		// drain saw it. Count it — silent loss would make a partial
+		// /events drain look complete.
+		t.drops.Add(1)
+		if c := t.dropC.Load(); c != nil {
+			c.Inc()
+		}
+	}
+}
+
+// Dropped returns how many events have been overwritten before a drain
+// could see them.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.drops.Load()
+}
+
+// Instrument exposes the ring's drop count as rhmd_trace_dropped_total
+// in reg, carrying over any drops recorded before wiring. Nil-safe on
+// both receiver and registry; call once, before heavy traffic.
+func (t *Tracer) Instrument(reg *Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	c := reg.Counter("rhmd_trace_dropped_total",
+		"Event-ring records overwritten before a drain observed them (ring capacity exceeded).")
+	if t.dropC.Swap(c) == nil {
+		c.Add(t.drops.Load())
+	}
 }
 
 // Emitted returns the total number of events ever emitted (including

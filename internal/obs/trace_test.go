@@ -12,11 +12,22 @@ import (
 // a snapshot returns exactly the surviving suffix in emission order.
 func TestTracerOverwriteSemantics(t *testing.T) {
 	tr := NewTracer(4)
+	reg := NewRegistry()
+	tr.Instrument(reg)
 	for i := 0; i < 10; i++ {
 		tr.Emit(Event{Kind: EvWindow, Detector: i, Window: i})
 	}
 	if tr.Emitted() != 10 {
 		t.Fatalf("emitted %d", tr.Emitted())
+	}
+	// 10 emits into a 4-slot ring: the first 4 land in empty slots, the
+	// next 6 each overwrite a survivor — and every one of those drops is
+	// visible both on the tracer and as rhmd_trace_dropped_total.
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped %d, want 6", tr.Dropped())
+	}
+	if got := reg.Counter("rhmd_trace_dropped_total", "").Value(); got != 6 {
+		t.Fatalf("rhmd_trace_dropped_total %d, want 6", got)
 	}
 	evs := tr.Snapshot()
 	if len(evs) != 4 {
@@ -39,7 +50,8 @@ func TestTracerOverwriteSemantics(t *testing.T) {
 func TestNilTracerIsDisabled(t *testing.T) {
 	var tr *Tracer
 	tr.Emit(Event{Kind: EvSubmit}) // must not panic
-	if tr.Emitted() != 0 || tr.Snapshot() != nil {
+	tr.Instrument(NewRegistry())   // must not panic either
+	if tr.Emitted() != 0 || tr.Dropped() != 0 || tr.Snapshot() != nil {
 		t.Fatal("nil tracer retained state")
 	}
 	var b strings.Builder
@@ -82,14 +94,14 @@ func TestTracerConcurrentEmit(t *testing.T) {
 	}
 }
 
-// TestTracesEndpoint drains the ring over HTTP as JSON.
-func TestTracesEndpoint(t *testing.T) {
+// TestEventsEndpoint drains the ring over HTTP as JSON.
+func TestEventsEndpoint(t *testing.T) {
 	tr := NewTracer(8)
 	tr.Emit(Event{Kind: EvQuarantine, Detector: 2, Window: -1, Detail: "failure threshold reached"})
 	srv := httptest.NewServer(NewMux(nil, tr))
 	defer srv.Close()
 
-	resp, err := srv.Client().Get(srv.URL + "/traces")
+	resp, err := srv.Client().Get(srv.URL + "/events")
 	if err != nil {
 		t.Fatal(err)
 	}
