@@ -233,8 +233,11 @@ func (b *healthBoard) windowDone() {
 // the breaker state machine. It returns true when the live set changed
 // (quarantine or restore), which the engine surfaces in its stats.
 // exemplarID, when non-empty, is the verdict trace ID attached to the
-// latency observation as an OpenMetrics exemplar, joining the bucket
-// the observation lands in back to its trace on /traces.
+// latency observation as an OpenMetrics exemplar. The join back to
+// /traces is best-effort: exemplars are recorded before the tail
+// sampler decides keep/drop, so a bucket's exemplar may name a trace
+// that was later recycled (DESIGN.md §"Verdict tracing"). Slow buckets
+// overwhelmingly carry resolvable IDs, since slow is a keep reason.
 func (b *healthBoard) report(idx int, ok bool, latency time.Duration, exemplarID string) (quarantined, restored bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()

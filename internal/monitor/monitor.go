@@ -286,14 +286,18 @@ func (e *Engine) Submit(p *prog.Program) bool {
 	// The queue-wait span opens before the send so its start is the
 	// enqueue instant; the worker closes it at pickup.
 	wait := tr.StartSpan(span.StageQueueWait, nil)
+	// The enqueue span must close BEFORE the send: a successful send
+	// hands trace ownership to the worker, which may record its spans
+	// and Finish (recycling the trace) concurrently with anything the
+	// submitter does afterwards. The send is non-blocking, so ending
+	// here loses nothing of the enqueue step's duration.
+	tr.EndSpan(enq)
 	select {
 	case e.queue <- submission{p: p, tr: tr, wait: wait}:
-		tr.EndSpan(enq)
 		e.ins.queueDepth.Inc()
 		e.tracer.Emit(obs.Event{Kind: obs.EvSubmit, Program: p.Name, Detector: -1, Window: -1})
 		return true
 	default:
-		tr.EndSpan(enq)
 		tr.EndSpan(wait)
 		e.ins.shed.Inc()
 		e.tracer.Emit(obs.Event{Kind: obs.EvShed, Program: p.Name, Detector: -1, Window: -1, Detail: "queue full"})

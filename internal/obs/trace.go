@@ -55,7 +55,7 @@ type Event struct {
 type Tracer struct {
 	slots []atomic.Pointer[Event]
 	seq   atomic.Uint64
-	// drops counts events overwritten before any drain saw them; dropC
+	// drops counts ring-slot overwrites (oldest event evicted); dropC
 	// mirrors the count into a registry counter once Instrument wires
 	// one (nil until then — drops were silent before PR 5).
 	drops atomic.Uint64
@@ -83,9 +83,10 @@ func (t *Tracer) Emit(ev Event) {
 	}
 	ev.Seq = t.seq.Add(1) - 1
 	if old := t.slots[ev.Seq%uint64(len(t.slots))].Swap(&ev); old != nil {
-		// The ring was full: the oldest survivor is gone before any
-		// drain saw it. Count it — silent loss would make a partial
-		// /events drain look complete.
+		// The ring was full: the oldest event is evicted. A snapshot
+		// drain may already have served it, so this counts overwrites,
+		// not guaranteed-unseen loss — but counting them still lets a
+		// scraper tell a quiet engine from an undersized ring.
 		t.drops.Add(1)
 		if c := t.dropC.Load(); c != nil {
 			c.Inc()
@@ -93,8 +94,9 @@ func (t *Tracer) Emit(ev Event) {
 	}
 }
 
-// Dropped returns how many events have been overwritten before a drain
-// could see them.
+// Dropped returns how many events have been evicted by ring-slot
+// overwrites. Drains snapshot rather than consume, so an overwritten
+// event may or may not have been served before eviction.
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {
 		return 0
@@ -110,7 +112,7 @@ func (t *Tracer) Instrument(reg *Registry) {
 		return
 	}
 	c := reg.Counter("rhmd_trace_dropped_total",
-		"Event-ring records overwritten before a drain observed them (ring capacity exceeded).")
+		"Event-ring slot overwrites (oldest event evicted; ring capacity exceeded).")
 	if t.dropC.Swap(c) == nil {
 		c.Add(t.drops.Load())
 	}
