@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet lint build test race bench trace-smoke fuzz crashtest check clean
+.PHONY: all fmt vet lint build test race bench trace-smoke fuzz crashtest chaostest check clean
 
 all: check
 
@@ -52,6 +52,16 @@ fuzz:
 # fallback, and the SIGKILL-and-restart recovery test, under -race.
 crashtest:
 	$(GO) test -race -run 'Crash|Corrupt|Kill|Torn|Fallback|Trailer' -v ./internal/checkpoint/ ./internal/monitor/
+
+# Kill-a-shard chaos suite, under -race: scripted shard deaths (dead
+# disk, wedged queue, crashed worker) plus restore-under-load, proving
+# surviving shards keep serving, the dead shard restarts from its own
+# checkpoint with zero acked-verdict loss, and the health endpoint
+# reports the degraded→serving transition. The crash scenario writes
+# its final fleet-health JSON to FLEET_HEALTH_OUT (CI uploads it).
+chaostest:
+	FLEET_HEALTH_OUT=$(CURDIR)/fleet-health.json \
+		$(GO) test -race -run 'Chaos|RestoreUnderLoad|FleetSingleShard' -v ./internal/fleet/
 
 check: fmt vet lint build race
 

@@ -12,6 +12,16 @@
 //	rhmd-monitor -metrics-addr :9090 -snapshot-every 2s
 //	rhmd-monitor -trace-out events.json -json       # machine-readable
 //	rhmd-monitor -trace-verdicts -slow-ms 20 -exemplars -metrics-addr :9090
+//	rhmd-monitor -shards 3 -shard-checkpoint-dir /var/rhmd   # sharded fleet
+//	rhmd-monitor -shards 3 -chaos 0:crash-at-byte:4096       # kill-a-shard drill
+//
+// With -shards > 1 the monitor runs as a fleet: N independent engine
+// shards behind a consistent-hash router keyed on program name, each
+// with its own queue, workers, breakers and (with
+// -shard-checkpoint-dir) its own snapshot+WAL directory. A supervisor
+// restarts dead shards from their own checkpoints while siblings keep
+// serving; -chaos scripts deterministic shard deaths, and the fleet
+// health JSON is served on /fleet next to /metrics.
 //
 // With -metrics-addr set, the monitor serves live introspection while it
 // runs: Prometheus/OpenMetrics metrics on /metrics (format negotiated
@@ -71,6 +81,10 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print the survival report as JSON instead of text")
 	ckptDir := flag.String("checkpoint-dir", "", "durable checkpoint directory: verdicts are write-ahead-logged, snapshots taken periodically, and a previous run's state is restored on start")
 	ckptEvery := flag.Duration("checkpoint-every", 2*time.Second, "periodic snapshot interval (with -checkpoint-dir)")
+	shards := flag.Int("shards", 1, "shard the monitor into N independent failure domains behind a consistent-hash router (1 = the plain single engine)")
+	shardCkptDir := flag.String("shard-checkpoint-dir", "", "fleet durability root: shard i checkpoints under <dir>/shard-i and restarts restore from it (requires -shards > 1)")
+	chaosScript := flag.String("chaos", "", "deterministic kill-a-shard script, e.g. '0:crash-at-byte:4096,1:wedge:25,2:panic:10' (requires -shards > 1)")
+	wedgeTimeout := flag.Duration("wedge-timeout", 2*time.Second, "how long a shard may hold a backlog with zero window progress before the supervisor restarts it (with -shards > 1)")
 	traceVerdicts := flag.Bool("trace-verdicts", false, "record a per-verdict span tree and tail-sample kept traces onto /traces")
 	slowMs := flag.Int("slow-ms", 50, "verdicts slower than this are always kept by the tail sampler (with -trace-verdicts)")
 	keepEvery := flag.Int("keep-every", 128, "keep every N-th verdict trace as a healthy baseline; 1 keeps all, -1 disables the baseline (with -trace-verdicts)")
@@ -129,6 +143,62 @@ func main() {
 		}, reg)
 		check(err)
 	}
+	// Fleet mode: N independent engine shards behind a consistent-hash
+	// router, with shard supervision and per-shard durability. The
+	// single-engine path below stays exactly as it was for -shards 1.
+	script, err := monitor.ParseShardScript(*chaosScript)
+	check(err)
+	if *shards <= 1 {
+		if *shardCkptDir != "" {
+			check(fmt.Errorf("-shard-checkpoint-dir needs -shards > 1; the single engine checkpoints under -checkpoint-dir"))
+		}
+		if script != nil {
+			check(fmt.Errorf("-chaos needs -shards > 1 (shard fault scripts target fleet shards)"))
+		}
+	} else {
+		if *ckptDir != "" {
+			check(fmt.Errorf("-checkpoint-dir is the single-engine store; with -shards > 1 use -shard-checkpoint-dir (shard i stores under shard-<i>/)"))
+		}
+		if script != nil {
+			for _, sf := range script.Faults {
+				if sf.Shard < 0 || sf.Shard >= *shards {
+					check(fmt.Errorf("-chaos targets shard %d, but -shards is %d", sf.Shard, *shards))
+				}
+			}
+		}
+		check(runFleet(fleetOptions{
+			rhmd:    r,
+			stream:  stream,
+			shards:  *shards,
+			ckptDir: *shardCkptDir,
+			script:  script,
+			wedge:   *wedgeTimeout,
+			engine: monitor.Config{
+				Workers:         *workers,
+				QueueDepth:      *queue,
+				TraceLen:        *traceLen,
+				WindowDeadline:  *deadline,
+				ProbeAfter:      *probeAfter,
+				Injector:        injector,
+				Tracer:          tracer,
+				Spans:           spans,
+				Exemplars:       *exemplars,
+				CheckpointEvery: *ckptEvery,
+			},
+			metrics:       reg,
+			tracer:        tracer,
+			spans:         spans,
+			metricsAddr:   *metricsAddr,
+			hold:          *hold,
+			snapshotEvery: *snapshotEvery,
+			verbose:       *verbose,
+			jsonOut:       *jsonOut,
+			traceOut:      *traceOut,
+			info:          info,
+		}))
+		return
+	}
+
 	var store *checkpoint.Store
 	if *ckptDir != "" {
 		store, err = checkpoint.Open(*ckptDir, checkpoint.Options{})

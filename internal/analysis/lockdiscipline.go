@@ -19,6 +19,8 @@ import (
 //     health-board mutex turns a slow consumer into a pool-wide stall.
 //     The held region runs from the Lock to the first matching inline
 //     Unlock, or to the end of the function when released by defer.
+//     Comm clauses of a select with a default case are exempt: that
+//     shape never waits, it sheds — the engine's own idiom.
 //
 // Matching is by the receiver's printed expression ("e.mu"), so locks
 // through different aliases of the same mutex are not correlated —
@@ -153,8 +155,13 @@ func syncLockCall(p *Pass, call *ast.CallExpr) (lockOp, bool) {
 
 // reportBlockingHeld flags blocking operations positioned inside the
 // held region [from, to] of mutex key. Nested function literals are
-// skipped: they run later, not while the lock is held.
+// skipped: they run later, not while the lock is held. Channel ops that
+// are comm clauses of a select carrying a default clause are exempt —
+// that shape is non-blocking by language semantics (the select commits
+// to default rather than waiting), and it is exactly the engine's
+// shed-don't-stall idiom.
 func reportBlockingHeld(p *Pass, body *ast.BlockStmt, key string, from, to token.Pos) {
+	nonblocking := nonblockingComms(body)
 	ast.Inspect(body, func(n ast.Node) bool {
 		if n == nil {
 			return false
@@ -165,6 +172,9 @@ func reportBlockingHeld(p *Pass, body *ast.BlockStmt, key string, from, to token
 		if n.Pos() <= from || n.Pos() >= to {
 			// Still descend: children may fall inside the region even when
 			// the parent starts before it.
+			return true
+		}
+		if inRanges(n.Pos(), nonblocking) {
 			return true
 		}
 		switch n := n.(type) {
@@ -184,4 +194,46 @@ func reportBlockingHeld(p *Pass, body *ast.BlockStmt, key string, from, to token
 		}
 		return true
 	})
+}
+
+// posRange is a half-open source region [pos, end).
+type posRange struct{ pos, end token.Pos }
+
+func inRanges(p token.Pos, rs []posRange) bool {
+	for _, r := range rs {
+		if p >= r.pos && p < r.end {
+			return true
+		}
+	}
+	return false
+}
+
+// nonblockingComms collects the comm-statement regions of every select
+// that has a default clause. Only the comm statements themselves
+// (`case ch <- v:`, `case v := <-ch:`) are exempt — channel ops in the
+// clause *bodies* run after the select commits and block normally.
+func nonblockingComms(body *ast.BlockStmt) []posRange {
+	var rs []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+				rs = append(rs, posRange{cc.Comm.Pos(), cc.Comm.End()})
+			}
+		}
+		return true
+	})
+	return rs
 }

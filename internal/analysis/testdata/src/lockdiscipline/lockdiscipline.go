@@ -81,6 +81,55 @@ func spawnHeld(b *box) {
 	b.n++
 }
 
+// selectDefault sends under the lock through a select with a default
+// clause: non-blocking by language semantics (shed, don't stall), so
+// no diagnostic.
+func selectDefault(b *box) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- b.n:
+		return true
+	default:
+		return false
+	}
+}
+
+// selectRecvDefault covers the receive side of the same exemption.
+func selectRecvDefault(b *box) int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	select {
+	case v := <-b.ch:
+		return v
+	default:
+		return b.n
+	}
+}
+
+// selectNoDefault has no default clause, so the select parks until a
+// case is ready — that still blocks with the lock held.
+func selectNoDefault(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- b.n: // want "channel send while holding b.mu"
+	}
+}
+
+// selectCaseBody sheds on the comm but then blocks inside the chosen
+// clause's body; the body runs after the select commits, so the send
+// there is a real stall.
+func selectCaseBody(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case v := <-b.ch:
+		b.ch <- v // want "channel send while holding b.mu"
+	default:
+	}
+}
+
 // twoPhase locks twice with inline releases; the send sits between the
 // two held regions and is fine.
 func twoPhase(b *box) {

@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"sync/atomic"
+
+	"rhmd/internal/checkpoint"
+	"rhmd/internal/monitor"
+)
+
+// Chaos wiring for the kill-a-shard harness. A monitor.ShardScript
+// targets generation 0 of each scripted shard:
+//
+//   - crash-at-byte swaps the shard's gen-0 filesystem for a
+//     checkpoint.FailingFS with the scripted byte budget — the disk
+//     dies mid-run, WAL appends start failing, and the supervisor
+//     restarts the shard once failures cross its limit. Restarted
+//     generations get a healthy filesystem: chaos proves the road
+//     back, not a permanent outage.
+//   - wedge-queue and panic-worker install a chaosInjector that stays
+//     dormant (delegating to the configured base injector) until the
+//     shard has delivered the scripted number of verdicts, then forces
+//     FaultWedge / FaultWorkerCrash on every classification.
+//
+// Arming on delivered verdicts — not wall clock — keeps the scenario
+// deterministic: the shard always dies at the same point in its
+// output stream.
+
+// chaosInjector wraps the configured fault injector with a scripted
+// shard-killing mode that arms after a delivery threshold.
+type chaosInjector struct {
+	inner monitor.FaultInjector
+	mode  monitor.FaultKind
+	after uint64
+	armed atomic.Bool
+}
+
+// newChaosInjector builds the injector for one scripted fault; with
+// after == 0 it is armed from the first classification.
+func newChaosInjector(inner monitor.FaultInjector, mode monitor.FaultKind, after uint64) *chaosInjector {
+	c := &chaosInjector{inner: inner, mode: mode, after: after}
+	if after == 0 {
+		c.armed.Store(true)
+	}
+	return c
+}
+
+// Fault implements monitor.FaultInjector.
+func (c *chaosInjector) Fault(fc monitor.FaultContext) monitor.Fault {
+	if c.armed.Load() {
+		return monitor.Fault{Kind: c.mode}
+	}
+	if c.inner != nil {
+		return c.inner.Fault(fc)
+	}
+	return monitor.Fault{}
+}
+
+// observe is called by the shard's pump after each delivered verdict;
+// crossing the threshold arms the scripted fault.
+func (c *chaosInjector) observe(delivered uint64) {
+	if c != nil && delivered >= c.after {
+		c.armed.Store(true)
+	}
+}
+
+// chaosFS returns the filesystem for one shard generation under the
+// fleet's script: a FailingFS with the scripted byte budget for a
+// crash-at-byte target's first life, nil (the real filesystem)
+// otherwise.
+func (f *Fleet) chaosFS(idx int, gen uint64) checkpoint.FS {
+	if gen != 0 {
+		return nil
+	}
+	for _, fault := range f.cfg.Script.ForShard(idx) {
+		if fault.Kind == monitor.ShardCrashAtByte {
+			return checkpoint.NewFailingFS(checkpoint.OSFS{}, int(fault.Arg))
+		}
+	}
+	return nil
+}
+
+// chaosFor returns the scripted injector for one shard generation (nil
+// when the script has no wedge/panic fault for it, or past gen 0).
+func (f *Fleet) chaosFor(idx int, gen uint64, base monitor.FaultInjector) *chaosInjector {
+	if gen != 0 {
+		return nil
+	}
+	for _, fault := range f.cfg.Script.ForShard(idx) {
+		switch fault.Kind {
+		case monitor.ShardWedgeQueue:
+			return newChaosInjector(base, monitor.FaultWedge, fault.Arg)
+		case monitor.ShardPanicWorker:
+			return newChaosInjector(base, monitor.FaultWorkerCrash, fault.Arg)
+		}
+	}
+	return nil
+}

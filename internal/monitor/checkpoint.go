@@ -176,6 +176,7 @@ func (e *Engine) Checkpoint() (gen uint64, err error) {
 	tr := e.spans.Start("checkpoint", span.StageCheckpoint)
 	defer func() {
 		if err != nil {
+			e.ins.ckptFailures.Inc()
 			tr.Flag(span.ReasonErrored)
 			if r := tr.Root(); r != nil {
 				r.Err = err.Error()
@@ -295,15 +296,50 @@ func (e *Engine) applyEntry(entry checkpoint.Entry) error {
 }
 
 // commitVerdict applies a finished program's accounting and durably
-// logs it, as one unit relative to snapshot capture. Every window of
-// the program lands in a bucket whether or not the program failed
-// mid-trace; the program itself lands in processed or failed. tr/ws
-// are the verdict's trace and its open wal-fsync span (nil when
-// untraced): a failed WAL append marks both, so losing a verdict's
-// durability always leaves a kept trace behind.
-func (e *Engine) commitVerdict(rep Report, tr *span.Trace, ws *span.Span) {
+// logs it, as one unit relative to snapshot capture. The WAL append
+// runs first: under StrictDurability a verdict whose append failed is
+// withheld (counted undurable, never delivered), so everything a
+// consumer acks is provably recoverable; without it the engine keeps
+// the pre-fleet behavior of delivering with a logged durability gap.
+// Every window of the program lands in a bucket whether or not the
+// program failed mid-trace; the program itself lands in processed,
+// failed, or undurable. tr/ws are the verdict's trace and its open
+// wal-fsync span (nil when untraced): a failed WAL append marks both,
+// so losing a verdict's durability always leaves a kept trace behind.
+func (e *Engine) commitVerdict(rep Report, tr *span.Trace, ws *span.Span) (durable bool) {
 	e.ckptMu.RLock()
 	defer e.ckptMu.RUnlock()
+	if e.ckpt != nil {
+		payload, err := json.Marshal(walVerdict{
+			Failed:   rep.Err != nil,
+			Malware:  rep.Malware,
+			Windows:  rep.Windows,
+			Flagged:  rep.Flagged,
+			Degraded: rep.Degraded,
+			Dropped:  rep.Dropped,
+		})
+		if err == nil {
+			err = e.ckpt.Append(checkpoint.KindVerdict, payload)
+		}
+		if err != nil {
+			// A failed append costs durability of this one verdict, not
+			// the engine: surface it on the trace and keep serving.
+			e.ins.ckptFailures.Inc()
+			tr.Flag(span.ReasonErrored)
+			if ws != nil {
+				ws.Err = err.Error()
+			}
+			e.tracer.Emit(obs.Event{Kind: obs.EvCheckpointSave, Program: rep.Program, Detector: -1, Window: -1,
+				Detail: fmt.Sprintf("WAL append failed: %v", err)})
+			if e.cfg.StrictDurability {
+				// Withheld: the counters below would be resurrected by a
+				// restore the WAL knows nothing about, so the verdict is
+				// accounted only as undurable.
+				e.ins.undurable.Inc()
+				return false
+			}
+		}
+	}
 	e.ins.windows.Add(uint64(rep.Windows))
 	e.ins.flagged.Add(uint64(rep.Flagged))
 	e.ins.degraded.Add(uint64(rep.Degraded))
@@ -313,30 +349,7 @@ func (e *Engine) commitVerdict(rep Report, tr *span.Trace, ws *span.Span) {
 	} else {
 		e.ins.programs.Inc()
 	}
-	if e.ckpt == nil {
-		return
-	}
-	payload, err := json.Marshal(walVerdict{
-		Failed:   rep.Err != nil,
-		Malware:  rep.Malware,
-		Windows:  rep.Windows,
-		Flagged:  rep.Flagged,
-		Degraded: rep.Degraded,
-		Dropped:  rep.Dropped,
-	})
-	if err == nil {
-		err = e.ckpt.Append(checkpoint.KindVerdict, payload)
-	}
-	if err != nil {
-		// A failed append costs durability of this one verdict, not the
-		// engine: surface it on the trace and keep serving.
-		tr.Flag(span.ReasonErrored)
-		if ws != nil {
-			ws.Err = err.Error()
-		}
-		e.tracer.Emit(obs.Event{Kind: obs.EvCheckpointSave, Program: rep.Program, Detector: -1, Window: -1,
-			Detail: fmt.Sprintf("WAL append failed: %v", err)})
-	}
+	return true
 }
 
 // commitTransition runs the breaker state machine for one
@@ -355,6 +368,7 @@ func (e *Engine) commitTransition(idx int, ok bool, latency time.Duration, exemp
 		err = e.ckpt.Append(checkpoint.KindBreaker, payload)
 	}
 	if err != nil {
+		e.ins.ckptFailures.Inc()
 		e.tracer.Emit(obs.Event{Kind: obs.EvCheckpointSave, Detector: idx, Window: -1,
 			Detail: fmt.Sprintf("WAL append failed: %v", err)})
 	}

@@ -27,6 +27,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rhmd/internal/checkpoint"
@@ -56,8 +57,18 @@ type Config struct {
 	// disables retries).
 	MaxRetries int
 	// RetryBackoff is the base backoff before the first retry, doubling
-	// per attempt (default 500µs).
+	// per attempt with deterministic equal-jitter (the actual wait for
+	// attempt k is uniform in [b/2, b) for b = RetryBackoff·2^(k-1),
+	// derived from the attempt's fault context so reruns reproduce the
+	// same schedule). Default 500µs.
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential backoff (default
+	// 32×RetryBackoff).
+	RetryBackoffMax time.Duration
+	// Sleep is the injected clock seam the retry backoff waits through
+	// (nil = a real timer honoring ctx). Tests substitute a recording
+	// fake to assert the backoff schedule without waiting it out.
+	Sleep func(ctx context.Context, d time.Duration) error
 	// FailureThreshold is the consecutive-failure count that opens a
 	// detector's breaker (default 3).
 	FailureThreshold int
@@ -98,6 +109,21 @@ type Config struct {
 	// CheckpointEvery is the periodic snapshot interval (default 2s;
 	// ignored without a Checkpoint store).
 	CheckpointEvery time.Duration
+	// StrictDurability withholds any verdict whose WAL append failed:
+	// the report is counted (rhmd_monitor_programs_total{outcome=
+	// "undurable"}) but never delivered, so everything a consumer acks
+	// is recoverable. Fleet shards run strict so a restarted shard can
+	// prove zero acked-verdict loss; the default (false) keeps the
+	// single-engine behavior of delivering with a logged durability
+	// gap.
+	StrictDurability bool
+	// OnWorkerCrash, when non-nil, is called each time a worker
+	// goroutine dies to a panic that escaped per-program recovery (for
+	// example FaultWorkerCrash). The engine absorbs the crash — the
+	// remaining workers keep serving — but never replaces the worker;
+	// a fleet supervisor uses the callback as its shard-death signal.
+	// Called from the dying worker goroutine; must not block.
+	OnWorkerCrash func(err error)
 }
 
 func (c *Config) fill() {
@@ -121,6 +147,12 @@ func (c *Config) fill() {
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 500 * time.Microsecond
 	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = 32 * c.RetryBackoff
+	}
+	if c.Sleep == nil {
+		c.Sleep = sleepCtx
+	}
 	if c.FailureThreshold <= 0 {
 		c.FailureThreshold = 3
 	}
@@ -129,6 +161,19 @@ func (c *Config) fill() {
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 2 * time.Second
+	}
+}
+
+// sleepCtx is the default Config.Sleep: a real timer that aborts on
+// context cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -152,6 +197,12 @@ type Report struct {
 	// sampler kept the trace (query it on /traces); empty when the
 	// trace was dropped or verdict tracing is disabled.
 	TraceID string
+	// Shard and ShardGen identify which fleet shard (and which life of
+	// it — generations count restarts) produced this verdict. Both are
+	// zero for a bare single engine; internal/fleet stamps them as it
+	// merges shard result streams.
+	Shard    int
+	ShardGen uint64
 }
 
 // submission carries one queued program together with its verdict
@@ -190,9 +241,19 @@ type Engine struct {
 	ckptMu sync.RWMutex
 	done   chan struct{}
 
+	// closeMu orders queue sends (shared) against closing the queue
+	// channel (exclusive), so Submit is safe to race with Close — a
+	// fleet supervisor tears engines down underneath live submitters.
+	// Both sides are non-blocking (select-default send, close).
+	closeMu sync.RWMutex
+	closed  atomic.Bool
+
+	// progress ticks at least once per scheduled window, through both
+	// the extraction and classification phases (see Progress).
+	progress atomic.Uint64
+
 	mu      sync.Mutex
 	started bool
-	closed  bool
 }
 
 // New validates the configuration and builds an engine around a trained
@@ -243,6 +304,7 @@ func (e *Engine) Start(ctx context.Context) {
 		return
 	}
 	e.started = true
+	e.ins.workersLive.Set(float64(e.cfg.Workers))
 	for i := 0; i < e.cfg.Workers; i++ {
 		e.wg.Add(1)
 		go e.worker(ctx)
@@ -272,11 +334,12 @@ func (e *Engine) Start(ctx context.Context) {
 // engine is closed. Shedding is explicit by design: an overloaded
 // monitor must fail visibly, not stall the host.
 func (e *Engine) Submit(p *prog.Program) bool {
-	e.mu.Lock()
-	closed := e.closed
-	e.mu.Unlock()
 	tr := e.spans.Start(p.Name, span.StageVerdict)
-	if closed {
+	// The closed check and the queue send form one unit under closeMu:
+	// Close cannot close the channel between them.
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed.Load() {
 		e.ins.shed.Inc()
 		e.tracer.Emit(obs.Event{Kind: obs.EvShed, Program: p.Name, Detector: -1, Window: -1, Detail: "engine closed"})
 		e.finishShed(tr, "engine closed")
@@ -326,16 +389,27 @@ func (e *Engine) finishShed(tr *span.Trace, why string) {
 func (e *Engine) Results() <-chan Report { return e.results }
 
 // Close stops accepting submissions and lets workers drain the queue.
-// It does not wait; range over Results to observe completion.
+// It does not wait; range over Results to observe completion. Close is
+// idempotent and safe to race with Submit.
 func (e *Engine) Close() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	if e.closed.Swap(true) {
 		return
 	}
-	e.closed = true
+	// Exclude in-flight queue sends: a submitter either saw closed and
+	// shed, or completes its send before the channel closes.
+	e.closeMu.Lock()
 	close(e.queue)
+	e.closeMu.Unlock()
 }
+
+// Progress returns a monotonic, volatile activity counter that ticks at
+// least once per scheduled window — during feature extraction (each
+// switching draw) and during classification (each completed window). It
+// is the supervisor's wedge signal: a slow shard keeps ticking at
+// window granularity, a wedged one (workers blocked inside a
+// classification that will never return) freezes entirely. Not
+// persisted, not a metric; restored engines start from zero.
+func (e *Engine) Progress() uint64 { return e.progress.Load() }
 
 // Stats snapshots the engine's counters and per-detector health. The
 // counters now live in the observability registry (the same numbers a
@@ -343,25 +417,66 @@ func (e *Engine) Close() {
 func (e *Engine) Stats() Stats {
 	det, quar, rest := e.health.snapshot()
 	return Stats{
-		ProgramsProcessed: e.ins.programs.Value(),
-		ProgramsShed:      e.ins.shed.Value(),
-		ProgramsFailed:    e.ins.failed.Value(),
-		Windows:           e.ins.windows.Value(),
-		Flagged:           e.ins.flagged.Value(),
-		Degraded:          e.ins.degraded.Value(),
-		DroppedWindows:    e.ins.dropped.Value(),
-		Retries:           e.ins.retries.Value(),
-		Timeouts:          e.ins.timeouts.Value(),
-		Panics:            e.ins.panics.Value(),
-		Quarantines:       quar,
-		Restores:          rest,
-		Detectors:         det,
+		ProgramsProcessed:  e.ins.programs.Value(),
+		ProgramsShed:       e.ins.shed.Value(),
+		ProgramsFailed:     e.ins.failed.Value(),
+		ProgramsUndurable:  e.ins.undurable.Value(),
+		Windows:            e.ins.windows.Value(),
+		Flagged:            e.ins.flagged.Value(),
+		Degraded:           e.ins.degraded.Value(),
+		DroppedWindows:     e.ins.dropped.Value(),
+		Retries:            e.ins.retries.Value(),
+		Timeouts:           e.ins.timeouts.Value(),
+		Panics:             e.ins.panics.Value(),
+		WorkerCrashes:      e.ins.workerCrashes.Value(),
+		CheckpointFailures: e.ins.ckptFailures.Value(),
+		QueueDepth:         gaugeCount(e.ins.queueDepth),
+		Inflight:           gaugeCount(e.ins.inflight),
+		WorkersLive:        gaugeCount(e.ins.workersLive),
+		Quarantines:        quar,
+		Restores:           rest,
+		Detectors:          det,
 	}
 }
 
-// worker consumes the queue until it closes or ctx is cancelled.
+// gaugeCount reads an occupancy gauge as a non-negative integer (a
+// concurrent inc/dec pair can transiently expose a negative read).
+func gaugeCount(g *obs.Gauge) uint64 {
+	v := g.Value()
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
+// worker consumes the queue until it closes or ctx is cancelled. A
+// panic that escapes per-program recovery (a deliberate
+// FaultWorkerCrash, or a real bug in the commit path) is absorbed
+// here: the worker dies — it is never replaced — but the engine
+// survives, counts the crash, and notifies Config.OnWorkerCrash so a
+// supervisor can decide the shard's fate. Containment over silent
+// continuation: a worker that crashed mid-commit must not keep
+// touching shared state.
 func (e *Engine) worker(ctx context.Context) {
 	defer e.wg.Done()
+	// Every exit — drain, cancellation, or crash — retires the worker
+	// from the live gauge, so a drained engine reads 0 like a fresh one.
+	defer e.ins.workersLive.Dec()
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("monitor: worker crashed: %v", r)
+			e.ins.panics.Inc()
+			e.ins.workerCrashes.Inc()
+			// The crash happened mid-program (nothing else panics), so
+			// the in-flight slot this worker held is released.
+			e.ins.inflight.Dec()
+			e.tracer.Emit(obs.Event{Kind: obs.EvPanic, Detector: -1, Window: -1,
+				Detail: fmt.Sprintf("worker crashed: %v", r)})
+			if e.cfg.OnWorkerCrash != nil {
+				e.cfg.OnWorkerCrash(err)
+			}
+		}
+	}()
 	for {
 		select {
 		case <-ctx.Done():
@@ -371,6 +486,7 @@ func (e *Engine) worker(ctx context.Context) {
 				return
 			}
 			e.ins.queueDepth.Dec()
+			e.ins.inflight.Inc()
 			tr := sub.tr
 			tr.EndSpan(sub.wait)
 			wk := tr.StartSpan(span.StageWorker, nil)
@@ -379,7 +495,7 @@ func (e *Engine) worker(ctx context.Context) {
 			// Commit (count + WAL-log) before the report becomes
 			// visible: a consumer-observed verdict is always durable.
 			ws := tr.StartSpan(span.StageWALFsync, nil)
-			e.commitVerdict(rep, tr, ws)
+			durable := e.commitVerdict(rep, tr, ws)
 			tr.EndSpan(ws)
 			if rep.Err != nil {
 				tr.Flag(span.ReasonErrored)
@@ -387,8 +503,19 @@ func (e *Engine) worker(ctx context.Context) {
 					r.Err = rep.Err.Error()
 				}
 			}
+			if !durable {
+				// Strict durability: an unlogged verdict is never acked.
+				// The program was classified but its result is withheld
+				// (and counted); the consumer sees either a durable
+				// verdict or nothing.
+				tr.SetVerdict("undurable")
+				tr.Finish()
+				e.ins.inflight.Dec()
+				continue
+			}
 			tr.SetVerdict(verdictLabel(rep))
 			rep.TraceID = tr.Finish()
+			e.ins.inflight.Dec()
 			select {
 			case e.results <- rep:
 			case <-ctx.Done():

@@ -13,24 +13,29 @@ import (
 // old private counters struct; Stats() reads back through it, keeping
 // the public Stats shape unchanged.
 type instruments struct {
-	programs *obs.Counter // fully classified programs
-	shed     *obs.Counter // submissions rejected by backpressure
-	failed   *obs.Counter // trace/extraction failures
+	programs  *obs.Counter // fully classified programs
+	shed      *obs.Counter // submissions rejected by backpressure
+	failed    *obs.Counter // trace/extraction failures
+	undurable *obs.Counter // verdicts withheld under StrictDurability (WAL append failed)
 
 	windows  *obs.Counter // classified windows
 	flagged  *obs.Counter // subset flagged malware
 	degraded *obs.Counter // subset classified by a fallback detector
 	dropped  *obs.Counter // windows no live detector could classify
 
-	retries  *obs.Counter
-	timeouts *obs.Counter
-	panics   *obs.Counter
+	retries       *obs.Counter
+	timeouts      *obs.Counter
+	panics        *obs.Counter
+	workerCrashes *obs.Counter // worker goroutines lost to escaped panics
+	ckptFailures  *obs.Counter // failed WAL appends / snapshot saves
 
 	quarantines *obs.Counter
 	restores    *obs.Counter
 
-	queueDepth *obs.Gauge // current submission-queue occupancy
-	poolLive   *obs.Gauge // detectors currently serving (closed + half-open)
+	queueDepth  *obs.Gauge // current submission-queue occupancy
+	inflight    *obs.Gauge // programs picked up by workers, not yet reported
+	workersLive *obs.Gauge // worker goroutines still alive
+	poolLive    *obs.Gauge // detectors currently serving (closed + half-open)
 
 	// Per-detector children, indexed by pool position.
 	draws   []*obs.Counter   // switching draws from the live sampler
@@ -47,19 +52,25 @@ func newInstruments(reg *obs.Registry, r *core.RHMD) *instruments {
 	faults := reg.CounterVec("rhmd_monitor_faults_total", "Fault-handling events.", "kind")
 	breaker := reg.CounterVec("rhmd_monitor_breaker_transitions_total", "Circuit-breaker transitions.", "kind")
 	ins := &instruments{
-		programs:    progs.With("processed"),
-		shed:        progs.With("shed"),
-		failed:      progs.With("failed"),
-		windows:     wins.With("classified"),
-		flagged:     wins.With("flagged"),
-		degraded:    wins.With("degraded"),
-		dropped:     wins.With("dropped"),
-		retries:     faults.With("retry"),
-		timeouts:    faults.With("timeout"),
-		panics:      faults.With("panic"),
+		programs:      progs.With("processed"),
+		shed:          progs.With("shed"),
+		failed:        progs.With("failed"),
+		undurable:     progs.With("undurable"),
+		windows:       wins.With("classified"),
+		flagged:       wins.With("flagged"),
+		degraded:      wins.With("degraded"),
+		dropped:       wins.With("dropped"),
+		retries:       faults.With("retry"),
+		timeouts:      faults.With("timeout"),
+		panics:        faults.With("panic"),
+		workerCrashes: faults.With("worker-crash"),
+		ckptFailures: reg.Counter("rhmd_monitor_checkpoint_failures_total",
+			"Failed WAL appends and snapshot saves; a fleet supervisor restarts the shard past its limit."),
 		quarantines: breaker.With("quarantine"),
 		restores:    breaker.With("restore"),
 		queueDepth:  reg.Gauge("rhmd_monitor_queue_depth", "Programs waiting in the submission queue."),
+		inflight:    reg.Gauge("rhmd_monitor_inflight", "Programs picked up by workers and not yet reported."),
+		workersLive: reg.Gauge("rhmd_monitor_workers_live", "Worker goroutines still alive (crashed workers are not replaced)."),
 		poolLive:    reg.Gauge("rhmd_monitor_pool_live", "Detectors currently serving traffic (closed or half-open)."),
 	}
 	draws := reg.CounterVec("rhmd_monitor_switch_draws_total", "Switching draws routed to each detector by the live sampler.", "detector", "spec")

@@ -40,10 +40,23 @@ type Stats struct {
 	Flagged        uint64 `json:"flagged"`
 	Degraded       uint64 `json:"degraded"`
 	DroppedWindows uint64 `json:"dropped_windows"`
+	// ProgramsUndurable counts verdicts withheld under StrictDurability
+	// because their WAL append failed: classified, never acked.
+	ProgramsUndurable uint64 `json:"programs_undurable"`
 	// Retries, Timeouts and Panics count fault-handling events.
-	Retries  uint64 `json:"retries"`
-	Timeouts uint64 `json:"timeouts"`
-	Panics   uint64 `json:"panics"`
+	// WorkerCrashes counts worker goroutines lost to escaped panics;
+	// CheckpointFailures counts failed WAL appends and snapshot saves.
+	Retries            uint64 `json:"retries"`
+	Timeouts           uint64 `json:"timeouts"`
+	Panics             uint64 `json:"panics"`
+	WorkerCrashes      uint64 `json:"worker_crashes"`
+	CheckpointFailures uint64 `json:"checkpoint_failures"`
+	// QueueDepth, Inflight and WorkersLive are point-in-time liveness
+	// gauges: a fleet supervisor reads them to tell a wedged shard
+	// (backlog with no progress) from an idle one.
+	QueueDepth  uint64 `json:"queue_depth"`
+	Inflight    uint64 `json:"inflight"`
+	WorkersLive uint64 `json:"workers_live"`
 	// Quarantines and Restores count breaker transitions; Detectors
 	// holds the per-detector health rows.
 	Quarantines uint64          `json:"quarantines"`
@@ -113,6 +126,10 @@ func (s Stats) String() string {
 		s.Windows, s.Flagged, s.Degraded, s.DroppedWindows)
 	fmt.Fprintf(&b, "faults:   %d retries, %d timeouts, %d panics, %d quarantines, %d restores\n",
 		s.Retries, s.Timeouts, s.Panics, s.Quarantines, s.Restores)
+	if s.WorkerCrashes > 0 || s.CheckpointFailures > 0 || s.ProgramsUndurable > 0 {
+		fmt.Fprintf(&b, "damage:   %d worker crashes, %d checkpoint failures, %d undurable verdicts withheld\n",
+			s.WorkerCrashes, s.CheckpointFailures, s.ProgramsUndurable)
+	}
 	fmt.Fprintf(&b, "pool:     %d/%d detectors live (%d half-open)\n",
 		s.LivePool(), len(s.Detectors), s.HalfOpen())
 	for i, d := range s.Detectors {

@@ -17,6 +17,20 @@ import (
 // deadline.
 var ErrDeadline = errors.New("monitor: window deadline exceeded")
 
+// workerCrash is the panic payload of FaultWorkerCrash. process's
+// per-program recover rethrows it instead of converting it to a report
+// error, so it escapes to the worker loop's recover and kills the
+// worker goroutine — the shard-death signal the fleet supervisor
+// restarts on.
+type workerCrash struct {
+	detector int
+	program  string
+}
+
+func (wc workerCrash) String() string {
+	return fmt.Sprintf("injected worker crash (detector %d, program %q)", wc.detector, wc.program)
+}
+
 // process monitors one program end to end: schedule windows over the
 // live pool, classify each with fault handling, aggregate the
 // majority-rule verdict. A panic anywhere in tracing or extraction is
@@ -29,6 +43,12 @@ func (e *Engine) process(ctx context.Context, p *prog.Program, tr *span.Trace, w
 	rep = Report{Program: p.Name, Label: p.Label}
 	defer func() {
 		if r := recover(); r != nil {
+			if wc, ok := r.(workerCrash); ok {
+				// A scripted worker crash must kill the worker, not become
+				// a program error; the probe-cancel defer below has already
+				// run (LIFO), so no breaker is left wedged half-open.
+				panic(wc)
+			}
 			e.ins.panics.Inc()
 			rep.Err = fmt.Errorf("monitor: tracing %q panicked: %v", p.Name, r)
 			e.tracer.Emit(obs.Event{Kind: obs.EvPanic, Program: p.Name, Detector: -1, Window: -1, Detail: fmt.Sprint(r)})
@@ -71,6 +91,9 @@ func (e *Engine) process(ctx context.Context, p *prog.Program, tr *span.Trace, w
 		}
 		seq = append(seq, idx)
 		probes = append(probes, probe)
+		// One liveness tick per scheduled window, so extraction of a
+		// long trace reads as forward motion, not a stall.
+		e.progress.Add(1)
 		if idx < 0 {
 			// Nothing live to schedule for: collect at the pool's
 			// smallest period so the stream stays window-aligned; the
@@ -110,6 +133,7 @@ func (e *Engine) process(ctx context.Context, p *prog.Program, tr *span.Trace, w
 		}
 		resolved = w + 1
 		e.health.windowDone()
+		e.progress.Add(1)
 		// Window outcomes accumulate on the report only; the registry
 		// counters are committed at verdict time (commitVerdict) so the
 		// checkpoint layer sees each program's accounting atomically.
@@ -192,6 +216,13 @@ func (e *Engine) classify(ctx context.Context, p *prog.Program, ws *features.Win
 	start := time.Now()
 	var lastErr error
 	for attempt := 0; attempt <= e.cfg.MaxRetries; attempt++ {
+		fc := FaultContext{
+			Detector: idx,
+			ProgSeed: p.Seed,
+			ProgName: p.Name,
+			Window:   w,
+			Attempt:  attempt,
+		}
 		if attempt > 0 {
 			e.ins.retries.Inc()
 			tr.Flag(span.ReasonRetried)
@@ -199,20 +230,27 @@ func (e *Engine) classify(ctx context.Context, p *prog.Program, ws *features.Win
 				cs.Attempt = attempt
 			}
 			e.tracer.Emit(obs.Event{Kind: obs.EvRetry, Program: p.Name, Detector: idx, Window: w, Attempt: attempt})
-			backoff := e.cfg.RetryBackoff << (attempt - 1)
-			select {
-			case <-time.After(backoff):
-			case <-ctx.Done():
-				return 0, ctx.Err()
+			if err := e.cfg.Sleep(ctx, e.retryBackoff(fc, attempt)); err != nil {
+				return 0, err
 			}
 		}
-		dec, err := e.classifyOnce(ctx, FaultContext{
-			Detector: idx,
-			ProgSeed: p.Seed,
-			ProgName: p.Name,
-			Window:   w,
-			Attempt:  attempt,
-		}, d.ScoreWindow, d.Threshold, vec)
+		// The injector is consulted here, on the worker goroutine, so the
+		// shard-killing faults act on the worker itself; the detector-level
+		// faults ride into classifyOnce with the attempt.
+		var fault Fault
+		if e.cfg.Injector != nil {
+			fault = e.cfg.Injector.Fault(fc)
+		}
+		switch fault.Kind {
+		case FaultWedge:
+			// Block the worker, not the scored call: the window deadline
+			// cannot rescue a wedge, only engine teardown can.
+			<-ctx.Done()
+			return 0, ctx.Err()
+		case FaultWorkerCrash:
+			panic(workerCrash{detector: idx, program: p.Name})
+		}
+		dec, err := e.classifyOnce(ctx, fc, fault, d.ScoreWindow, d.Threshold, vec)
 		if err == nil {
 			e.commitTransition(idx, true, time.Since(start), e.exemplarID(tr))
 			return dec, nil
@@ -234,6 +272,28 @@ func (e *Engine) classify(ctx context.Context, p *prog.Program, ws *features.Win
 	return 0, lastErr
 }
 
+// retryBackoff returns the jittered wait before retry attempt k (k ≥ 1):
+// exponential doubling from Config.RetryBackoff capped at
+// RetryBackoffMax, with equal jitter — uniform in [b/2, b) — drawn
+// deterministically from the attempt's fault context. The same
+// (detector, program, window, attempt) tuple always waits the same
+// time, so a rerun reproduces the schedule regardless of worker
+// interleaving, while distinct attempts desynchronize instead of
+// retrying in lockstep.
+func (e *Engine) retryBackoff(fc FaultContext, attempt int) time.Duration {
+	b := e.cfg.RetryBackoff
+	for i := 1; i < attempt && b < e.cfg.RetryBackoffMax; i++ {
+		b <<= 1
+	}
+	if b > e.cfg.RetryBackoffMax {
+		b = e.cfg.RetryBackoffMax
+	}
+	half := b / 2
+	// 53 uniform bits of the mixed context → frac in [0, 1).
+	frac := float64(mixFault(fc)>>11) / (1 << 53)
+	return half + time.Duration(frac*float64(half))
+}
+
 // exemplarID returns the trace ID to attach to latency observations as
 // an OpenMetrics exemplar, or "" when exemplars are off or the verdict
 // is untraced.
@@ -247,8 +307,10 @@ func (e *Engine) exemplarID(tr *span.Trace) string {
 // classifyOnce is a single deadline-bounded attempt. The detector call
 // runs in its own goroutine so a stalled or crashing model is contained:
 // panics are recovered into errors and a stall past the window deadline
-// is abandoned (the goroutine finishes harmlessly on its own).
-func (e *Engine) classifyOnce(ctx context.Context, fc FaultContext, score func([]float64) float64, threshold float64, vec []float64) (int, error) {
+// is abandoned (the goroutine finishes harmlessly on its own). fault is
+// the attempt's injected detector fault, resolved by the caller
+// (FaultNone when no injector is configured).
+func (e *Engine) classifyOnce(ctx context.Context, fc FaultContext, fault Fault, score func([]float64) float64, threshold float64, vec []float64) (int, error) {
 	type outcome struct {
 		dec int
 		err error
@@ -264,20 +326,18 @@ func (e *Engine) classifyOnce(ctx context.Context, fc FaultContext, score func([
 			}
 		}()
 		v := vec
-		if e.cfg.Injector != nil {
-			switch f := e.cfg.Injector.Fault(fc); f.Kind {
-			case FaultError:
-				ch <- outcome{err: ErrInjected}
-				return
-			case FaultPanic:
-				panic("injected detector fault")
-			case FaultLatency:
-				time.Sleep(f.Latency)
-			case FaultCorrupt:
-				v = make([]float64, len(vec))
-				for i := range v {
-					v[i] = math.NaN()
-				}
+		switch fault.Kind {
+		case FaultError:
+			ch <- outcome{err: ErrInjected}
+			return
+		case FaultPanic:
+			panic("injected detector fault")
+		case FaultLatency:
+			time.Sleep(fault.Latency)
+		case FaultCorrupt:
+			v = make([]float64, len(vec))
+			for i := range v {
+				v[i] = math.NaN()
 			}
 		}
 		s := score(v)

@@ -81,16 +81,53 @@ func NewMux(reg *Registry, tr *Tracer, mounts ...Mount) *http.ServeMux {
 	return mux
 }
 
+// maxRequestBody caps request bodies on the introspection endpoint. No
+// handler here reads a body at all, so anything past a megabyte is a
+// misdirected upload or an attempt to wedge the server's readers.
+const maxRequestBody = 1 << 20
+
+// newServer wraps the handler in the hardened server configuration:
+// every read, write and idle phase is bounded so one slow or stalled
+// scraper cannot pin a connection (and its goroutine) forever, and
+// request bodies are capped. WriteTimeout leaves room for the longest
+// legitimate response — a 30s pprof CPU profile — with margin.
+func newServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           capRequestBody(h, maxRequestBody),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      90 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+}
+
+// capRequestBody rejects requests declaring more than max bytes of
+// body up front (413) and hard-caps chunked or lying senders with a
+// MaxBytesReader, so no handler can be made to buffer unbounded input.
+func capRequestBody(h http.Handler, max int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.ContentLength > max {
+			http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		if req.Body != nil {
+			req.Body = http.MaxBytesReader(w, req.Body, max)
+		}
+		h.ServeHTTP(w, req)
+	})
+}
+
 // ListenAndServe starts the introspection endpoint on addr in a
 // background goroutine and returns the bound address (useful with
 // ":0") plus a shutdown func. The server is plain HTTP: this is a
-// loopback/ops endpoint, not a public surface.
+// loopback/ops endpoint, not a public surface — but it is hardened
+// (see newServer) so a misbehaving scraper degrades only itself.
 func ListenAndServe(addr string, reg *Registry, tr *Tracer, mounts ...Mount) (string, func(context.Context) error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewMux(reg, tr, mounts...), ReadHeaderTimeout: 5 * time.Second}
+	srv := newServer(NewMux(reg, tr, mounts...))
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Shutdown, nil
 }

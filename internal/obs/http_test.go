@@ -4,8 +4,10 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestListenAndServe boots the real server on an ephemeral port — the
@@ -52,5 +54,52 @@ func TestListenAndServe(t *testing.T) {
 func TestListenAndServeBadAddr(t *testing.T) {
 	if _, _, err := ListenAndServe("256.0.0.1:bogus", NewRegistry(), nil); err == nil {
 		t.Fatal("expected error for unlistenable address")
+	}
+}
+
+// TestServerHardening: the introspection server bounds every
+// connection phase — a slow or stalled scraper must time out, not pin
+// a reader goroutine forever.
+func TestServerHardening(t *testing.T) {
+	srv := newServer(http.NewServeMux())
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadTimeout <= 0 || srv.IdleTimeout <= 0 {
+		t.Fatalf("read/idle phases unbounded: %+v", srv)
+	}
+	if srv.WriteTimeout <= 30*time.Second {
+		t.Fatalf("WriteTimeout %v must exceed the 30s pprof profile window", srv.WriteTimeout)
+	}
+}
+
+// TestRequestBodyCap: nothing on this mux reads a body, so a huge
+// declared body is rejected up front and an undeclared (chunked) one
+// is hard-capped rather than buffered.
+func TestRequestBodyCap(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("cap_total", "body-cap test").Inc()
+	h := capRequestBody(NewMux(reg, nil), maxRequestBody)
+
+	big := httptest.NewRequest("POST", "/metrics", strings.NewReader("x"))
+	big.ContentLength = maxRequestBody + 1
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, big)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized declared body: status %d, want 413", w.Code)
+	}
+
+	ok := httptest.NewRequest("GET", "/metrics", nil)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, ok)
+	if w.Code != 200 || !strings.Contains(w.Body.String(), "cap_total 1") {
+		t.Fatalf("plain scrape through the cap: status %d body %q", w.Code, w.Body.String())
+	}
+
+	// A lying sender (small Content-Length, bigger body) is capped by
+	// the MaxBytesReader the middleware installed.
+	lying := httptest.NewRequest("POST", "/healthz", strings.NewReader(strings.Repeat("y", 64)))
+	lying.ContentLength = -1 // chunked: length unknown up front
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, lying)
+	if w.Code != 200 {
+		t.Fatalf("chunked small body rejected: status %d", w.Code)
 	}
 }
