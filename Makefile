@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet lint build test race bench trace-smoke fuzz crashtest chaostest check clean
+.PHONY: all fmt vet lint build test race bench benchjson trace-smoke fuzz crashtest chaostest check clean
 
 all: check
 
@@ -34,6 +34,17 @@ race:
 # regressions that crash, without the cost of a timed run.
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+# Scenario benchrunner: replay the core load scenarios and emit
+# machine-readable BENCH_<scenario>.json reports (throughput, latency
+# percentiles, shed/retry/restart counters, allocs/op) into results/.
+# The steady scenario is gated against the committed BENCH_baseline.json
+# — a >10% throughput drop fails the target, and CI with it. The other
+# scenarios are artifacts only (fault-heavy runs are too noisy to gate).
+benchjson:
+	mkdir -p results
+	$(GO) run ./cmd/rhmd-benchrunner -scenario steady -out results -baseline BENCH_baseline.json
+	$(GO) run ./cmd/rhmd-benchrunner -scenario burst,hotkey,breaker-storm -out results
 
 # End-to-end smoke for verdict span tracing: boot rhmd-monitor with
 # -trace-verdicts, scrape /traces, and fail unless the kept set is

@@ -1,0 +1,114 @@
+// Command rhmd-benchrunner replays named load scenarios against the
+// monitor engine or the sharded fleet and writes machine-readable
+// BENCH_<scenario>.json reports: throughput, latency percentiles,
+// shed/retry/restart counters, allocation cost, and optional pprof
+// captures. With -baseline it gates the run against a committed report
+// and exits non-zero on regression — the CI perf gate.
+//
+// Usage:
+//
+//	rhmd-benchrunner -list
+//	rhmd-benchrunner -scenario steady
+//	rhmd-benchrunner -scenario steady,burst,hotkey -out results
+//	rhmd-benchrunner -scenario steady -profile
+//	rhmd-benchrunner -scenario steady -baseline BENCH_baseline.json
+//
+// Exit status: 0 on success, 1 when the baseline gate fails, 2 on
+// error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rhmd/internal/benchrunner"
+	"rhmd/internal/scenario"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		names     = flag.String("scenario", "", "scenario name(s) to run, comma-separated (see -list)")
+		list      = flag.Bool("list", false, "list registered scenarios and exit")
+		out       = flag.String("out", ".", "directory for BENCH_*.json reports and profiles")
+		profile   = flag.Bool("profile", false, "capture CPU and heap pprof around each replay")
+		baseline  = flag.String("baseline", "", "baseline BENCH report to gate against")
+		threshold = flag.Float64("threshold", 0.10, "max fractional throughput drop vs baseline before failing")
+		seed      = flag.Uint64("seed", 42, "scenario seed (identical seeds compile identical corpora)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range scenario.Names() {
+			spec, err := scenario.Lookup(name, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rhmd-benchrunner:", err)
+				return 2
+			}
+			fmt.Printf("%-16s %s\n", name, spec.Description)
+		}
+		return 0
+	}
+	if *names == "" {
+		fmt.Fprintln(os.Stderr, "rhmd-benchrunner: -scenario required (or -list)")
+		flag.Usage()
+		return 2
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "rhmd-benchrunner:", err)
+		return 2
+	}
+
+	var base *benchrunner.Report
+	if *baseline != "" {
+		var err error
+		if base, err = benchrunner.Load(*baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "rhmd-benchrunner:", err)
+			return 2
+		}
+	}
+
+	status := 0
+	for _, name := range strings.Split(*names, ",") {
+		name = strings.TrimSpace(name)
+		spec, err := scenario.Lookup(name, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rhmd-benchrunner:", err)
+			return 2
+		}
+		rep, err := benchrunner.Run(spec, benchrunner.Options{OutDir: *out, Profile: *profile})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rhmd-benchrunner:", err)
+			return 2
+		}
+		path, err := rep.Write(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rhmd-benchrunner:", err)
+			return 2
+		}
+		fmt.Printf("%s: %d events, %.1f verdicts/s", name, rep.Events, rep.ThroughputPerSec)
+		if ex := rep.Latency.Exact; ex != nil {
+			fmt.Printf(", p50 %.2fms p95 %.2fms p99 %.2fms", ex.P50ms, ex.P95ms, ex.P99ms)
+		}
+		fmt.Printf(", %d allocs/op -> %s\n", rep.AllocsPerOp, path)
+
+		if base != nil {
+			cmp := benchrunner.Compare(rep, base, *threshold)
+			for _, n := range cmp.Notes {
+				fmt.Printf("  note: %s\n", n)
+			}
+			for _, r := range cmp.Regressions {
+				fmt.Printf("  REGRESSION: %s\n", r)
+			}
+			if cmp.Failed() {
+				status = 1
+			}
+		}
+	}
+	return status
+}

@@ -133,6 +133,10 @@ func main() {
 	// the span recorder's kept/dropped counters land beside the engine's
 	// own instruments on the same /metrics scrape.
 	reg := obs.NewRegistry()
+	// Build provenance and process start/uptime land on the same scrape
+	// as the engine instruments, so a dashboard can pin every latency
+	// shift to the exact binary that produced it.
+	obs.RegisterBuildInfo(reg)
 	var spans *span.Recorder
 	if *traceVerdicts {
 		spans, err = span.NewRecorder(span.Config{

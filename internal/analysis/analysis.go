@@ -127,8 +127,10 @@ var Scopes = map[string][]string{
 	// for the same reason in miniature: trace IDs come from a seeded
 	// SplitMix64 stream and timestamps from the injected Config.Now, so
 	// a stray time.Now or math/rand would silently break replayable
-	// traces.
-	"determinism": {"internal/prog", "internal/rng", "internal/experiments", "internal/game", "internal/obs/span"},
+	// traces. The scenario DSL is in scope because a compiled corpus is
+	// a bench workload's identity: identical seeds must produce
+	// identical corpora or BENCH comparisons measure different work.
+	"determinism": {"internal/prog", "internal/rng", "internal/experiments", "internal/game", "internal/obs/span", "internal/scenario"},
 	// The fsync-before-rename protocol is the durability layer's
 	// contract; persistence helpers in hmd/core and the monitor's
 	// checkpoint path route through it.

@@ -213,8 +213,9 @@ func (f *Fleet) newGeneration(sh *shard, gen uint64) (*monitor.Engine, *checkpoi
 func (f *Fleet) Registry() *obs.Registry { return f.reg }
 
 // Home returns the key's home shard on the routing ring, ignoring
-// liveness (the shard that serves it when everything is up).
-func (f *Fleet) Home(key string) int { return f.ring.home(key) }
+// liveness (the shard that serves it when everything is up). The key
+// is reduced to its stream part first (see StreamKey).
+func (f *Fleet) Home(key string) int { return f.ring.home(StreamKey(key)) }
 
 // Start launches every shard, the supervisor, and the result pumps.
 // Cancelling ctx stops the whole fleet. Start is idempotent.
@@ -242,11 +243,13 @@ func (f *Fleet) Start(ctx context.Context) {
 	go f.closer(ctx)
 }
 
-// Submit routes a program to its shard by stream name. It returns
-// false when the fleet is closed, no shard is serving, or the target
-// shard sheds it (queue backpressure) — shedding stays explicit, per
-// shard. A submission whose home shard is down is rerouted to the next
-// live sibling on the ring and counted against the home shard.
+// Submit routes a program to its shard by stream key — the program
+// name up to the first '#' (see StreamKey), so producers can pin many
+// unique programs to one stream. It returns false when the fleet is
+// closed, no shard is serving, or the target shard sheds it (queue
+// backpressure) — shedding stays explicit, per shard. A submission
+// whose home shard is down is rerouted to the next live sibling on the
+// ring and counted against the home shard.
 func (f *Fleet) Submit(p *prog.Program) bool {
 	f.mu.Lock()
 	closed := f.closed
@@ -255,8 +258,9 @@ func (f *Fleet) Submit(p *prog.Program) bool {
 		f.ins.shed.Inc()
 		return false
 	}
-	home := f.ring.home(p.Name)
-	target := f.ring.route(p.Name, func(i int) bool { return f.shards[i].shardState() == Serving })
+	key := StreamKey(p.Name)
+	home := f.ring.home(key)
+	target := f.ring.route(key, func(i int) bool { return f.shards[i].shardState() == Serving })
 	if target < 0 {
 		f.ins.shed.Inc()
 		return false

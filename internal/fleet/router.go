@@ -13,7 +13,23 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strings"
 )
+
+// StreamKey extracts the routing key from a program name: everything up
+// to the first '#', or the whole name when there is none. Producers
+// that want many distinct programs to ride one stream (one tenant, one
+// host, one load-generator key) name them "<stream>#<unique suffix>";
+// the ring hashes only the stream part, so the whole stream lives on —
+// and fails over with — one shard, while every program keeps a unique
+// identity in reports. The scenario DSL's hot-key shapes depend on
+// this.
+func StreamKey(name string) string {
+	if i := strings.IndexByte(name, '#'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
 
 // defaultVnodes is the virtual-node count per shard: enough that key
 // ranges interleave finely (a dead shard's load spreads over every

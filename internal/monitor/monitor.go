@@ -215,6 +215,9 @@ type submission struct {
 	// queue-wait span the worker closes at pickup.
 	tr   *span.Trace
 	wait *span.Span
+	// ts is the submit instant, the start of the end-to-end verdict
+	// latency histogram (rhmd_monitor_verdict_latency_seconds).
+	ts time.Time
 }
 
 // Engine streams programs through an RHMD pool. Construct with New,
@@ -356,7 +359,7 @@ func (e *Engine) Submit(p *prog.Program) bool {
 	// here loses nothing of the enqueue step's duration.
 	tr.EndSpan(enq)
 	select {
-	case e.queue <- submission{p: p, tr: tr, wait: wait}:
+	case e.queue <- submission{p: p, tr: tr, wait: wait, ts: time.Now()}:
 		e.ins.queueDepth.Inc()
 		e.tracer.Emit(obs.Event{Kind: obs.EvSubmit, Program: p.Name, Detector: -1, Window: -1})
 		return true
@@ -497,6 +500,11 @@ func (e *Engine) worker(ctx context.Context) {
 			ws := tr.StartSpan(span.StageWALFsync, nil)
 			durable := e.commitVerdict(rep, tr, ws)
 			tr.EndSpan(ws)
+			// End-to-end verdict latency, submit → durable commit. It is
+			// observed for every terminal outcome (including withheld
+			// undurable verdicts), so percentile estimates cover exactly
+			// the work the engine performed.
+			e.ins.verdictLatency.ObserveSince(sub.ts)
 			if rep.Err != nil {
 				tr.Flag(span.ReasonErrored)
 				if r := tr.Root(); r != nil {

@@ -32,6 +32,10 @@ type instruments struct {
 	quarantines *obs.Counter
 	restores    *obs.Counter
 
+	// verdictLatency is the end-to-end submit→durable-commit latency per
+	// program — the histogram the benchrunner estimates p50/p95/p99 from.
+	verdictLatency *obs.Histogram
+
 	queueDepth  *obs.Gauge // current submission-queue occupancy
 	inflight    *obs.Gauge // programs picked up by workers, not yet reported
 	workersLive *obs.Gauge // worker goroutines still alive
@@ -66,6 +70,8 @@ func newInstruments(reg *obs.Registry, r *core.RHMD) *instruments {
 		workerCrashes: faults.With("worker-crash"),
 		ckptFailures: reg.Counter("rhmd_monitor_checkpoint_failures_total",
 			"Failed WAL appends and snapshot saves; a fleet supervisor restarts the shard past its limit."),
+		verdictLatency: reg.Histogram("rhmd_monitor_verdict_latency_seconds",
+			"End-to-end per-program verdict latency, submit to durable commit.", nil),
 		quarantines: breaker.With("quarantine"),
 		restores:    breaker.With("restore"),
 		queueDepth:  reg.Gauge("rhmd_monitor_queue_depth", "Programs waiting in the submission queue."),

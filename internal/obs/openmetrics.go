@@ -101,6 +101,10 @@ func (f *family) writeOpenMetrics(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%s%s %s\n", famName, labels, formatFloat(m.Value())); err != nil {
 				return err
 			}
+		case *GaugeFunc:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", famName, labels, formatFloat(m.Value())); err != nil {
+				return err
+			}
 		case *Histogram:
 			upper, cum := m.Buckets()
 			ex := m.BucketExemplars()

@@ -1,0 +1,95 @@
+package obs
+
+import "math"
+
+// Percentile estimation over the registry's fixed-bucket histograms.
+//
+// The registry stores only cumulative bucket counts, so exact order
+// statistics are gone the moment a value is observed; what remains is
+// the classic Prometheus histogram_quantile estimate — find the bucket
+// the q-th observation falls in and interpolate linearly inside it.
+// The error bounds are therefore fully determined by the bucket grid:
+//
+//   - An estimate inside finite bucket i (bounds (lo, hi]) is off by at
+//     most the bucket width hi−lo: linear interpolation assumes the
+//     bucket's observations are uniformly spread, and any true quantile
+//     still lies inside the same bucket. With DefLatencyBuckets
+//     (powers of two from 50µs) the relative error is bounded by the
+//     bucket growth factor: the estimate is within 2× of the true
+//     value, and within ~30% for uniformly filled buckets.
+//   - A quantile landing in the first finite bucket interpolates from
+//     zero (there is no lower bound), biasing small-latency estimates
+//     downward by at most the first bucket's upper bound.
+//   - A quantile landing in the +Inf overflow bucket is clamped to the
+//     highest finite upper bound — the estimate is then a lower bound
+//     on the true quantile, which is the honest answer a fixed grid can
+//     give. Size the grid so tail quantiles stay out of +Inf.
+//
+// These are the same semantics PromQL's histogram_quantile has, so a
+// BENCH report's p99 and a dashboard's histogram_quantile(0.99, ...)
+// over the same family agree.
+
+// Quantile estimates the q-th quantile (q in [0, 1]) from a cumulative
+// bucket vector: upper holds the sorted finite upper bounds, cumulative
+// the running counts aligned with them (as returned by
+// Histogram.Buckets), and count the total observation count (the
+// implicit +Inf bucket). It returns NaN when there are no observations
+// or q is outside [0, 1].
+func Quantile(upper []float64, cumulative []uint64, count uint64, q float64) float64 {
+	if count == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	// rank is the 1-based index of the observation that is the quantile;
+	// ceil matches the "at least q of the mass at or below" reading.
+	rank := uint64(math.Ceil(q * float64(count)))
+	if rank == 0 {
+		rank = 1
+	}
+	for i, cum := range cumulative {
+		if cum < rank {
+			continue
+		}
+		lo := 0.0
+		var below uint64
+		if i > 0 {
+			lo = upper[i-1]
+			below = cumulative[i-1]
+		}
+		inBucket := cum - below
+		if inBucket == 0 {
+			// Unreachable given cum >= rank > below, but keep the
+			// division guarded.
+			return upper[i]
+		}
+		frac := float64(rank-below) / float64(inBucket)
+		return lo + (upper[i]-lo)*frac
+	}
+	// The quantile is in the +Inf overflow bucket: clamp to the highest
+	// finite bound (a lower bound on the true quantile). A histogram
+	// with no finite buckets at all has nothing to clamp to.
+	if len(upper) == 0 {
+		return math.NaN()
+	}
+	return upper[len(upper)-1]
+}
+
+// Quantile estimates the q-th quantile of the histogram's observations;
+// see the package-level Quantile for the interpolation semantics and
+// error bounds.
+func (h *Histogram) Quantile(q float64) float64 {
+	upper, cum := h.Buckets()
+	return Quantile(upper, cum, h.Count(), q)
+}
+
+// Quantiles estimates several quantiles in one bucket snapshot, so the
+// returned values are mutually consistent even under concurrent
+// observation.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	upper, cum := h.Buckets()
+	count := h.Count()
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = Quantile(upper, cum, count, q)
+	}
+	return out
+}

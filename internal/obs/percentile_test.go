@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestQuantileEmptyAndBadInputs(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	if v := h.Quantile(0.5); !math.IsNaN(v) {
+		t.Fatalf("empty histogram quantile = %v, want NaN", v)
+	}
+	h.Observe(1)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if v := h.Quantile(q); !math.IsNaN(v) {
+			t.Fatalf("Quantile(%v) = %v, want NaN", q, v)
+		}
+	}
+}
+
+func TestQuantileInterpolatesWithinBucket(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30})
+	// 10 observations in (10, 20]: the median should interpolate to the
+	// middle of that bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	if got := h.Quantile(0.5); got != 15 {
+		t.Fatalf("p50 = %v, want 15 (midpoint of (10,20])", got)
+	}
+	// p100 is the bucket's upper bound.
+	if got := h.Quantile(1); got != 20 {
+		t.Fatalf("p100 = %v, want 20", got)
+	}
+}
+
+func TestQuantileFirstBucketInterpolatesFromZero(t *testing.T) {
+	h := newHistogram([]float64{8, 16})
+	for i := 0; i < 4; i++ {
+		h.Observe(1)
+	}
+	// rank ceil(0.5*4)=2 of 4 in bucket (0,8] → 0 + 8*(2/4) = 4.
+	if got := h.Quantile(0.5); got != 4 {
+		t.Fatalf("p50 = %v, want 4", got)
+	}
+}
+
+func TestQuantileOverflowClampsToTopBound(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(100) // lands in +Inf
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow quantile = %v, want clamp to 2", got)
+	}
+}
+
+func TestQuantileNoFiniteBuckets(t *testing.T) {
+	// A grid with no finite buckets has nothing to clamp to.
+	if v := Quantile(nil, nil, 5, 0.5); !math.IsNaN(v) {
+		t.Fatalf("no-finite-bucket quantile = %v, want NaN", v)
+	}
+}
+
+// TestQuantileErrorBound checks the documented bound: against uniform
+// observations the estimate is within one bucket width of the exact
+// order statistic, for every bucket the quantile can land in.
+func TestQuantileErrorBound(t *testing.T) {
+	upper := ExponentialBuckets(1, 2, 10) // 1..512
+	h := newHistogram(upper)
+	var values []float64
+	for i := 1; i <= 1000; i++ {
+		v := float64(i) / 2 // 0.5 .. 500, spans every bucket
+		values = append(values, v)
+		h.Observe(v)
+	}
+	sort.Float64s(values)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 0.95, 0.99} {
+		exact := values[int(math.Ceil(q*float64(len(values))))-1]
+		est := h.Quantile(q)
+		// Bucket containing the exact value determines the bound.
+		width := 0.0
+		for i, ub := range upper {
+			if exact <= ub {
+				lo := 0.0
+				if i > 0 {
+					lo = upper[i-1]
+				}
+				width = ub - lo
+				break
+			}
+		}
+		if math.Abs(est-exact) > width {
+			t.Fatalf("q=%v: estimate %v vs exact %v exceeds bucket width %v", q, est, exact, width)
+		}
+	}
+}
+
+func TestQuantilesConsistent(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%8) + 0.5)
+	}
+	qs := h.Quantiles(0.5, 0.95, 0.99)
+	if len(qs) != 3 {
+		t.Fatalf("got %d quantiles", len(qs))
+	}
+	if !(qs[0] <= qs[1] && qs[1] <= qs[2]) {
+		t.Fatalf("quantiles not monotone: %v", qs)
+	}
+}

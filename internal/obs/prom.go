@@ -71,6 +71,10 @@ func (f *family) write(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatFloat(m.Value())); err != nil {
 				return err
 			}
+		case *GaugeFunc:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatFloat(m.Value())); err != nil {
+				return err
+			}
 		case *Histogram:
 			upper, cum := m.Buckets()
 			for i, ub := range upper {

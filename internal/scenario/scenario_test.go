@@ -1,0 +1,318 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"rhmd/internal/monitor"
+	"rhmd/internal/prog"
+)
+
+func compile(t *testing.T, spec Spec) *Corpus {
+	t.Helper()
+	c, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Identical seeds must produce identical corpora — the acceptance
+// criterion the whole BENCH comparison rests on. Byte-for-byte over
+// every field the fingerprint folds, plus the fingerprint itself.
+func TestCompileDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			spec, err := Lookup(name, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, b := compile(t, spec), compile(t, spec)
+			if len(a.Events) != len(b.Events) {
+				t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+			}
+			for i := range a.Events {
+				ea, eb := a.Events[i], b.Events[i]
+				if ea.Program.Name != eb.Program.Name ||
+					ea.Program.Seed != eb.Program.Seed ||
+					ea.Program.Generation != eb.Program.Generation ||
+					ea.Delay != eb.Delay || ea.Stream != eb.Stream || ea.Evasive != eb.Evasive {
+					t.Fatalf("event %d differs:\n %+v\n %+v", i, ea, eb)
+				}
+			}
+			if a.Fingerprint() != b.Fingerprint() {
+				t.Fatalf("fingerprints differ: %x vs %x", a.Fingerprint(), b.Fingerprint())
+			}
+		})
+	}
+}
+
+// Different seeds must produce different corpora (the fingerprint
+// actually discriminates workloads).
+func TestCompileSeedSensitivity(t *testing.T) {
+	s1, _ := Lookup("steady", 1)
+	s2, _ := Lookup("steady", 2)
+	a, b := compile(t, s1), compile(t, s2)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatalf("different seeds produced identical fingerprints %x", a.Fingerprint())
+	}
+}
+
+func TestShapeSteadyPacing(t *testing.T) {
+	c := compile(t, Spec{Name: "t", Seed: 7, Events: 10,
+		Shape: Shape{Kind: Steady, Rate: 100}})
+	want := 10 * time.Millisecond
+	if c.Events[0].Delay != 0 {
+		t.Fatalf("first event delay %v, want 0", c.Events[0].Delay)
+	}
+	for i, e := range c.Events[1:] {
+		if e.Delay != want {
+			t.Fatalf("event %d delay %v, want %v", i+1, e.Delay, want)
+		}
+	}
+	if got := c.TotalDelay(); got != 9*want {
+		t.Fatalf("TotalDelay %v, want %v", got, 9*want)
+	}
+}
+
+func TestShapeBurstPacing(t *testing.T) {
+	gap := 3 * time.Millisecond
+	c := compile(t, Spec{Name: "t", Seed: 7, Events: 32,
+		Shape: Shape{Kind: Burst, BurstLen: 8, BurstGap: gap}})
+	for i, e := range c.Events {
+		want := time.Duration(0)
+		if i > 0 && i%8 == 0 {
+			want = gap
+		}
+		if e.Delay != want {
+			t.Fatalf("event %d delay %v, want %v", i, e.Delay, want)
+		}
+	}
+}
+
+func TestShapeDiurnalRamp(t *testing.T) {
+	c := compile(t, Spec{Name: "t", Seed: 7, Events: 64,
+		Shape: Shape{Kind: Diurnal, Rate: 100, Cycles: 1}})
+	base := 10 * time.Millisecond
+	var minD, maxD = time.Hour, time.Duration(0)
+	for _, e := range c.Events[1:] {
+		if e.Delay <= 0 {
+			t.Fatalf("non-positive diurnal delay %v", e.Delay)
+		}
+		if e.Delay < minD {
+			minD = e.Delay
+		}
+		if e.Delay > maxD {
+			maxD = e.Delay
+		}
+	}
+	// One full sine period must sweep well above and below the base.
+	if maxD < base+base/2 || minD > base-base/2 {
+		t.Fatalf("diurnal sweep too flat: min %v max %v around base %v", minD, maxD, base)
+	}
+}
+
+func TestShapeHotKeySkew(t *testing.T) {
+	c := compile(t, Spec{Name: "t", Seed: 7, Events: 200,
+		Shape: Shape{Kind: HotKey, HotFraction: 0.7, HotStreams: 2}})
+	hot := 0
+	streams := map[string]bool{}
+	for _, e := range c.Events {
+		if strings.HasPrefix(e.Stream, "hot-") {
+			hot++
+		}
+		streams[e.Stream] = true
+		// The event's program name must route by its stream.
+		if !strings.HasPrefix(e.Program.Name, e.Stream+"#") {
+			t.Fatalf("program %q does not ride stream %q", e.Program.Name, e.Stream)
+		}
+	}
+	// 200 draws at p=0.7: expect ~140, accept a generous band.
+	if hot < 110 || hot > 170 {
+		t.Fatalf("hot events %d of 200, want ~140", hot)
+	}
+	if !streams["hot-00"] || !streams["hot-01"] {
+		t.Fatalf("expected both hot streams used, got %d streams", len(streams))
+	}
+}
+
+// Event names must be unique (exact client-side latency attribution
+// depends on it) even though hot streams share routing keys.
+func TestEventNamesUnique(t *testing.T) {
+	c := compile(t, Spec{Name: "t", Seed: 7, Events: 200,
+		Shape: Shape{Kind: HotKey}})
+	seen := map[string]bool{}
+	for _, e := range c.Events {
+		if seen[e.Program.Name] {
+			t.Fatalf("duplicate event name %q", e.Program.Name)
+		}
+		seen[e.Program.Name] = true
+	}
+}
+
+func TestAdversaryRamp(t *testing.T) {
+	c := compile(t, Spec{Name: "t", Seed: 7, Events: 300,
+		Adversary: Adversary{Start: 0, End: 0.8, PayloadLen: 4}})
+	firstHalf, secondHalf := 0, 0
+	for i, e := range c.Events {
+		if !e.Evasive {
+			continue
+		}
+		if i < 150 {
+			firstHalf++
+		} else {
+			secondHalf++
+		}
+		if e.Program.Generation != 1 {
+			t.Fatalf("evasive event %d has generation %d, want 1", i, e.Program.Generation)
+		}
+		if prog.InjectedCount(e.Program) == 0 {
+			t.Fatalf("evasive event %d has no injected instructions", i)
+		}
+	}
+	if got := c.EvasiveCount(); got != firstHalf+secondHalf {
+		t.Fatalf("EvasiveCount %d != %d", got, firstHalf+secondHalf)
+	}
+	// The ramp 0→0.8 means ~20% evasive in the first half, ~60% in the
+	// second: the second half must clearly dominate.
+	if secondHalf <= firstHalf {
+		t.Fatalf("ramp inverted: %d evasive in first half, %d in second", firstHalf, secondHalf)
+	}
+	if c.EvasiveCount() < 60 || c.EvasiveCount() > 180 {
+		t.Fatalf("evasive total %d of 300, want ~120", c.EvasiveCount())
+	}
+}
+
+// Clean events must share the base program's Funcs (shallow rename);
+// evasive events must not (deep clone via Inject).
+func TestCloneSharing(t *testing.T) {
+	c := compile(t, Spec{Name: "t", Seed: 7, Events: 40,
+		Adversary: Adversary{Start: 1, End: 1}})
+	c2 := compile(t, Spec{Name: "t", Seed: 7, Events: 40})
+	for i, e := range c.Events {
+		if !e.Evasive {
+			t.Fatalf("event %d not evasive at fraction 1", i)
+		}
+		if e.Program.Funcs[0] == c2.Events[i].Program.Funcs[0] {
+			t.Fatalf("evasive event %d shares Funcs with the clean variant", i)
+		}
+	}
+}
+
+func TestFaultsCompile(t *testing.T) {
+	spec, err := Lookup("chaos-restart", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := compile(t, spec)
+	if c.Script == nil || len(c.Script.Faults) != 1 {
+		t.Fatalf("chaos script not compiled: %+v", c.Script)
+	}
+	f := c.Script.Faults[0]
+	if f.Shard != 1 || f.Kind != monitor.ShardWedgeQueue || f.Arg != 10 {
+		t.Fatalf("unexpected fault %+v", f)
+	}
+
+	storm, err := Lookup("breaker-storm", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := compile(t, storm)
+	if cs.Injector == nil {
+		t.Fatalf("storm scenario compiled without injector")
+	}
+	// A fresh injector per engine must be constructible and must
+	// actually fire at rate 0.6 over the first calls.
+	in := storm.NewInjector()
+	fired := 0
+	for i := 0; i < 40; i++ {
+		if in.Fault(monitor.FaultContext{Detector: 0, ProgSeed: uint64(i), Window: i}).Kind != monitor.FaultNone {
+			fired++
+		}
+	}
+	if fired < 10 {
+		t.Fatalf("storm fired %d/40 faults, want ~24", fired)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []Spec{
+		{},
+		{Name: "x", Adversary: Adversary{Start: -0.1}},
+		{Name: "x", Adversary: Adversary{End: 1.5}},
+		{Name: "x", Faults: Faults{Storm: &BreakerStorm{Rate: 2}}},
+		{Name: "x", Faults: Faults{Chaos: "bogus"}},
+		{Name: "x", Shape: Shape{HotFraction: 1.5}},
+	}
+	for i, spec := range cases {
+		if _, err := Compile(spec); err == nil {
+			t.Fatalf("case %d: Compile accepted invalid spec %+v", i, spec)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("no-such", 1); err == nil {
+		t.Fatal("Lookup accepted unknown scenario")
+	}
+	names := Names()
+	if len(names) != 7 {
+		t.Fatalf("expected 7 builtin scenarios, got %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+	for _, n := range names {
+		spec, err := Lookup(n, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Name != n {
+			t.Fatalf("scenario %q reports name %q", n, spec.Name)
+		}
+		if spec.Description == "" {
+			t.Fatalf("scenario %q has no description", n)
+		}
+	}
+}
+
+// Fingerprint must react to each folded dimension.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Spec{Name: "t", Seed: 7, Events: 40}
+	fp := func(s Spec) uint64 { return compile(t, s).Fingerprint() }
+	a := fp(base)
+
+	mods := map[string]Spec{}
+	m := base
+	m.Shape.Kind = Burst
+	mods["shape"] = m
+	m = base
+	m.Adversary = Adversary{Start: 1, End: 1}
+	mods["adversary"] = m
+	m = base
+	m.Faults.Chaos = "0:wedge:5"
+	mods["chaos"] = m
+	m = base
+	m.Faults.Storm = &BreakerStorm{Rate: 0.5, Until: 10}
+	mods["storm"] = m
+
+	for _, name := range []string{"shape", "adversary", "chaos", "storm"} {
+		if fp(mods[name]) == a {
+			t.Errorf("fingerprint blind to %s change", name)
+		}
+	}
+}
+
+func TestStreamNamingConvention(t *testing.T) {
+	c := compile(t, Spec{Name: "t", Seed: 7, Events: 8})
+	for i, e := range c.Events {
+		want := fmt.Sprintf("s%05d", i)
+		if e.Stream != want {
+			t.Fatalf("event %d stream %q, want %q", i, e.Stream, want)
+		}
+	}
+}
