@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet lint build test race bench benchjson trace-smoke fuzz crashtest chaostest check clean
+.PHONY: all fmt vet lint build test race bench benchjson trace-smoke fuzz crashtest chaostest drifttest check clean
 
 all: check
 
@@ -73,6 +73,18 @@ crashtest:
 chaostest:
 	FLEET_HEALTH_OUT=$(CURDIR)/fleet-health.json \
 		$(GO) test -race -run 'Chaos|RestoreUnderLoad|FleetSingleShard' -v ./internal/fleet/
+
+# Live drift-guard suite, under -race: the online evade→drift→retrain→
+# hot-swap→canary loop end to end (zero acked-verdict loss), the
+# injected-canary-regression rollback, swap-under-load and the
+# every-byte-boundary crash sweep over the pool-swap WAL entry, the
+# SIGKILL-mid-swap restart, and fleet-wide swap convergence. The e2e run
+# writes its machine-readable outcome to DRIFT_REPORT_OUT (CI uploads it).
+drifttest:
+	DRIFT_REPORT_OUT=$(CURDIR)/drift-report.json \
+		$(GO) test -race -v ./internal/driftguard/
+	$(GO) test -race -run 'Swap' -v ./internal/monitor/ ./internal/fleet/
+	$(GO) test -race -run 'RetrainPool' -v ./internal/game/
 
 check: fmt vet lint build race
 

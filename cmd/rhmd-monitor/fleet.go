@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rhmd/internal/core"
+	"rhmd/internal/driftguard"
 	"rhmd/internal/fleet"
 	"rhmd/internal/monitor"
 	"rhmd/internal/obs"
@@ -28,7 +29,12 @@ type fleetOptions struct {
 	wedge   time.Duration
 	// engine is the per-shard template; Metrics and Checkpoint stay
 	// unset (the fleet gives each shard generation its own).
-	engine        monitor.Config
+	engine monitor.Config
+	// drift enables the live drift guard over the whole fleet; driftCfg
+	// is the guard configuration with Swapper left unset (runFleet wires
+	// the fleet in as the swapper).
+	drift         bool
+	driftCfg      driftguard.Config
 	metrics       *obs.Registry
 	tracer        *obs.Tracer
 	spans         *span.Recorder
@@ -58,6 +64,17 @@ func runFleet(o fleetOptions) error {
 	}
 	fmt.Fprintf(o.info, "fleet: %d shards, durable=%v\n", o.shards, o.ckptDir != "")
 
+	var guard *driftguard.Guard
+	if o.drift {
+		cfg := o.driftCfg
+		cfg.Swapper = fl
+		guard, err = driftguard.New(o.rhmd, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(o.info, "drift-guard: watching the fleet (per-shard swaps, fleet epoch convergence)\n")
+	}
+
 	// Same two-stage shutdown as the single engine: first signal drains,
 	// second aborts in-flight work.
 	ctx, hardStop := context.WithCancel(context.Background())
@@ -78,6 +95,9 @@ func runFleet(o fleetOptions) error {
 		mounts := []obs.Mount{{Path: "/fleet", Handler: fl.HealthHandler()}}
 		if o.spans != nil {
 			mounts = append(mounts, obs.Mount{Path: "/traces", Handler: o.spans.Handler()})
+		}
+		if guard != nil {
+			mounts = append(mounts, obs.Mount{Path: "/drift", Handler: guard.Handler()})
 		}
 		addr, shutdown, err := obs.ListenAndServe(o.metricsAddr, fl.Registry(), o.tracer, mounts...)
 		if err != nil {
@@ -138,6 +158,9 @@ func runFleet(o fleetOptions) error {
 				case <-time.After(time.Millisecond):
 				}
 			}
+			if guard != nil {
+				guard.Ingest(p)
+			}
 			select {
 			case <-stopping:
 				return
@@ -148,6 +171,9 @@ func runFleet(o fleetOptions) error {
 
 	correct, total := 0, 0
 	for rep := range fl.Results() {
+		if guard != nil {
+			guard.Observe(rep)
+		}
 		if rep.Err != nil {
 			if o.jsonOut {
 				printVerdictJSON(rep)
@@ -174,6 +200,9 @@ func runFleet(o fleetOptions) error {
 		}
 	}
 	elapsed := time.Since(start)
+	if guard != nil {
+		guard.Wait()
+	}
 
 	if o.traceOut != "" {
 		if err := writeTrace(o.traceOut, o.tracer); err != nil {
@@ -184,14 +213,19 @@ func runFleet(o fleetOptions) error {
 	st := fl.Stats()
 	if o.jsonOut {
 		report := struct {
-			Programs  int              `json:"programs"`
-			Correct   int              `json:"correct"`
-			Accuracy  float64          `json:"accuracy"`
-			ElapsedNs time.Duration    `json:"elapsed_ns"`
-			Fleet     fleet.FleetStats `json:"fleet"`
+			Programs  int                `json:"programs"`
+			Correct   int                `json:"correct"`
+			Accuracy  float64            `json:"accuracy"`
+			ElapsedNs time.Duration      `json:"elapsed_ns"`
+			Fleet     fleet.FleetStats   `json:"fleet"`
+			Drift     *driftguard.Status `json:"drift,omitempty"`
 		}{Programs: total, Correct: correct, ElapsedNs: elapsed, Fleet: st}
 		if total > 0 {
 			report.Accuracy = float64(correct) / float64(total)
+		}
+		if guard != nil {
+			ds := guard.Status()
+			report.Drift = &ds
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -209,7 +243,11 @@ func runFleet(o fleetOptions) error {
 		if sh.LastRestart != "" {
 			line += fmt.Sprintf(" last-restart=%s", sh.LastRestart)
 		}
+		line += fmt.Sprintf(" pool-epoch=%d", sh.Stats.PoolEpoch)
 		fmt.Println(line)
+	}
+	if guard != nil {
+		fmt.Println(guard.Status())
 	}
 	if total > 0 {
 		fmt.Printf("verdict accuracy: %.1f%% (%d/%d)\n", 100*float64(correct)/float64(total), correct, total)

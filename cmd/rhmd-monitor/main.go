@@ -53,6 +53,7 @@ import (
 	"rhmd/internal/checkpoint"
 	"rhmd/internal/core"
 	"rhmd/internal/dataset"
+	"rhmd/internal/driftguard"
 	"rhmd/internal/features"
 	"rhmd/internal/monitor"
 	"rhmd/internal/obs"
@@ -90,6 +91,13 @@ func main() {
 	keepEvery := flag.Int("keep-every", 128, "keep every N-th verdict trace as a healthy baseline; 1 keeps all, -1 disables the baseline (with -trace-verdicts)")
 	exemplars := flag.Bool("exemplars", false, "attach kept-trace IDs to latency histograms as OpenMetrics exemplars (with -trace-verdicts)")
 	hold := flag.Duration("hold", 0, "keep the observability endpoint up this long after the run drains (for scrapers and smoke tests)")
+	drift := flag.Bool("drift", false, "run the live drift guard: watch agreement/accuracy EWMAs on the verdict stream, retrain in the background when drift fires, hot-swap the pool with canary rollback")
+	driftWindow := flag.Int("drift-window", 48, "verdicts required before drift can fire (EWMA warm-up, with -drift)")
+	driftAgreement := flag.Float64("drift-agreement", 0.30, "inter-detector agreement floor (vote-margin EWMA) that fires drift (with -drift)")
+	driftAccuracy := flag.Float64("drift-accuracy", 0.65, "labeled-accuracy EWMA floor that fires drift (with -drift)")
+	driftAlpha := flag.Float64("drift-alpha", 0.05, "EWMA smoothing factor for the drift signals (with -drift)")
+	driftCanary := flag.Int("drift-canary", 32, "new-generation verdicts the post-swap canary collects before commit/rollback (with -drift)")
+	driftPoolDir := flag.String("drift-pool-dir", "", "archive every pool generation here as pool-<fingerprint>.json and resolve swap WAL entries from it on restore (with -drift)")
 	flag.Parse()
 
 	// In -json mode stdout carries exactly one JSON document; everything
@@ -147,6 +155,37 @@ func main() {
 		}, reg)
 		check(err)
 	}
+	// Live drift guard: the evade/retrain loop over whichever serving
+	// surface (engine or fleet) runs below. The archive is opened first
+	// so checkpoint restore can resolve pool-swap WAL entries, and the
+	// base pool is archived up front — every generation that ever
+	// serves must be re-materializable after a crash.
+	var archive *driftguard.Archive
+	var resolvePool func(epoch, fingerprint uint64) (*core.RHMD, error)
+	if *driftPoolDir != "" {
+		if !*drift {
+			check(fmt.Errorf("-drift-pool-dir needs -drift"))
+		}
+		archive, err = driftguard.OpenArchive(*driftPoolDir)
+		check(err)
+		check(archive.Put(r))
+		resolvePool = archive.Resolve
+	}
+	driftCfg := driftguard.Config{
+		Retrain:        driftguard.NewGameRetrainer(r, *traceLen, *seed+4),
+		Archive:        archive,
+		AccuracyFloor:  *driftAccuracy,
+		AgreementFloor: *driftAgreement,
+		Alpha:          *driftAlpha,
+		MinSamples:     *driftWindow,
+		CanaryWindow:   *driftCanary,
+		Metrics:        reg,
+		Tracer:         tracer,
+		OnEvent: func(kind, detail string) {
+			fmt.Fprintf(os.Stderr, "drift-guard: %s: %s\n", kind, detail)
+		},
+	}
+
 	// Fleet mode: N independent engine shards behind a consistent-hash
 	// router, with shard supervision and per-shard durability. The
 	// single-engine path below stays exactly as it was for -shards 1.
@@ -188,7 +227,10 @@ func main() {
 				Spans:           spans,
 				Exemplars:       *exemplars,
 				CheckpointEvery: *ckptEvery,
+				ResolvePool:     resolvePool,
 			},
+			drift:         *drift,
+			driftCfg:      driftCfg,
 			metrics:       reg,
 			tracer:        tracer,
 			spans:         spans,
@@ -227,6 +269,7 @@ func main() {
 		Exemplars:       *exemplars,
 		Checkpoint:      store,
 		CheckpointEvery: *ckptEvery,
+		ResolvePool:     resolvePool,
 	})
 	check(err)
 
@@ -235,10 +278,19 @@ func main() {
 		check(err)
 		if restored != nil {
 			st := e.Stats()
-			fmt.Fprintf(info, "restored checkpoint gen %d (%d WAL entries replayed, %d corrupt generations skipped): %d programs, %d windows\n",
+			fmt.Fprintf(info, "restored checkpoint gen %d (%d WAL entries replayed, %d corrupt generations skipped): %d programs, %d windows, pool epoch %d\n",
 				restored.Gen, restored.Replayed, restored.Fallbacks,
-				st.ProgramsProcessed+st.ProgramsFailed, st.Windows)
+				st.ProgramsProcessed+st.ProgramsFailed, st.Windows, st.PoolEpoch)
 		}
+	}
+
+	var guard *driftguard.Guard
+	if *drift {
+		driftCfg.Swapper = e
+		guard, err = driftguard.New(e.Pool(), driftCfg)
+		check(err)
+		fmt.Fprintf(info, "drift-guard: watching (accuracy floor %.2f, agreement floor %.2f, warm-up %d, canary %d)\n",
+			*driftAccuracy, *driftAgreement, *driftWindow, *driftCanary)
 	}
 
 	// Graceful shutdown: the first SIGINT/SIGTERM stops submissions and
@@ -263,6 +315,9 @@ func main() {
 		var mounts []obs.Mount
 		if spans != nil {
 			mounts = append(mounts, obs.Mount{Path: "/traces", Handler: spans.Handler()})
+		}
+		if guard != nil {
+			mounts = append(mounts, obs.Mount{Path: "/drift", Handler: guard.Handler()})
 		}
 		addr, shutdown, err := obs.ListenAndServe(*metricsAddr, e.Registry(), tracer, mounts...)
 		check(err)
@@ -321,6 +376,9 @@ func main() {
 				case <-time.After(time.Millisecond):
 				}
 			}
+			if guard != nil {
+				guard.Ingest(p)
+			}
 			select {
 			case <-stopping:
 				return
@@ -331,6 +389,9 @@ func main() {
 
 	correct, total := 0, 0
 	for rep := range e.Results() {
+		if guard != nil {
+			guard.Observe(rep)
+		}
 		if rep.Err != nil {
 			if *jsonOut {
 				printVerdictJSON(rep)
@@ -358,6 +419,11 @@ func main() {
 		}
 	}
 	elapsed := time.Since(start)
+	if guard != nil {
+		// The drain is done; let any in-flight background retrain finish
+		// before the report so its outcome is counted.
+		guard.Wait()
+	}
 
 	if *traceOut != "" {
 		check(writeTrace(*traceOut, tracer))
@@ -365,14 +431,19 @@ func main() {
 
 	if *jsonOut {
 		report := struct {
-			Programs  int           `json:"programs"`
-			Correct   int           `json:"correct"`
-			Accuracy  float64       `json:"accuracy"`
-			ElapsedNs time.Duration `json:"elapsed_ns"`
-			Stats     monitor.Stats `json:"stats"`
+			Programs  int                `json:"programs"`
+			Correct   int                `json:"correct"`
+			Accuracy  float64            `json:"accuracy"`
+			ElapsedNs time.Duration      `json:"elapsed_ns"`
+			Stats     monitor.Stats      `json:"stats"`
+			Drift     *driftguard.Status `json:"drift,omitempty"`
 		}{Programs: total, Correct: correct, ElapsedNs: elapsed, Stats: e.Stats()}
 		if total > 0 {
 			report.Accuracy = float64(correct) / float64(total)
+		}
+		if guard != nil {
+			ds := guard.Status()
+			report.Drift = &ds
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -382,6 +453,9 @@ func main() {
 
 	fmt.Printf("\nsurvival report (%d programs in %v)\n", total, elapsed.Round(time.Millisecond))
 	fmt.Print(e.Stats())
+	if guard != nil {
+		fmt.Println(guard.Status())
+	}
 	if total > 0 {
 		fmt.Printf("verdict accuracy: %.1f%% (%d/%d)\n", 100*float64(correct)/float64(total), correct, total)
 	}
@@ -398,9 +472,12 @@ func printVerdictJSON(rep monitor.Report) {
 		Flagged  int    `json:"flagged"`
 		Degraded int    `json:"degraded"`
 		Dropped  int    `json:"dropped"`
-		Err      string `json:"err,omitempty"`
-		TraceID  string `json:"trace_id"`
-	}{rep.Program, rep.Malware, rep.Windows, rep.Flagged, rep.Degraded, rep.Dropped, "", rep.TraceID}
+		// PoolEpoch is the detector-pool generation that produced this
+		// verdict — how a consumer attributes verdicts across hot swaps.
+		PoolEpoch uint64 `json:"pool_epoch"`
+		Err       string `json:"err,omitempty"`
+		TraceID   string `json:"trace_id"`
+	}{rep.Program, rep.Malware, rep.Windows, rep.Flagged, rep.Degraded, rep.Dropped, rep.PoolEpoch, "", rep.TraceID}
 	if rep.Err != nil {
 		line.Err = rep.Err.Error()
 	}

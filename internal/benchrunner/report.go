@@ -62,6 +62,12 @@ type Counters struct {
 	// Restarts and Rerouted are fleet-path only (shard supervision).
 	Restarts uint64 `json:"restarts"`
 	Rerouted uint64 `json:"rerouted"`
+	// PoolGeneration is the serving detector-pool epoch at run end
+	// (fleet-level target epoch on the fleet path); PoolSwaps counts
+	// SwapPool commits during the run, summed across shards. Both stay 0
+	// unless a drift guard (or operator) swapped mid-run.
+	PoolGeneration uint64 `json:"pool_generation"`
+	PoolSwaps      uint64 `json:"pool_swaps"`
 }
 
 // Profiles records where pprof captures were written.

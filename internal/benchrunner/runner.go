@@ -283,10 +283,12 @@ func gatherCounters(run runner, fl *fleet.Fleet) Counters {
 			CheckpointFailures: s.CheckpointFailures,
 			Quarantines:        s.Quarantines,
 			Restores:           s.Restores,
+			PoolGeneration:     s.PoolEpoch,
+			PoolSwaps:          s.PoolSwaps,
 		}
 	}
 	fs := fl.Stats()
-	out := Counters{Shed: fs.Shed}
+	out := Counters{Shed: fs.Shed, PoolGeneration: fs.PoolEpoch}
 	for _, h := range fs.Health {
 		s := h.Stats
 		out.Processed += s.ProgramsProcessed
@@ -305,6 +307,7 @@ func gatherCounters(run runner, fl *fleet.Fleet) Counters {
 		out.Restores += s.Restores
 		out.Restarts += h.Restarts
 		out.Rerouted += h.Rerouted
+		out.PoolSwaps += s.PoolSwaps
 	}
 	return out
 }

@@ -48,6 +48,11 @@ const (
 	// KindBreaker is one breaker transition (quarantine/restore) with
 	// the renormalized live set.
 	KindBreaker byte = 3
+	// KindPoolSwap is one epoch-versioned detector-pool swap: the swap
+	// epoch plus the fingerprint of the pool that went live. Readers
+	// older than this kind skip it (unknown kinds are ignored during
+	// replay), so WALs stay forward-compatible.
+	KindPoolSwap byte = 4
 )
 
 // ErrTorn marks a record cut short or corrupted mid-file — the

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 	"os"
 
 	"rhmd/internal/checkpoint"
@@ -37,8 +39,37 @@ func (r *RHMD) UnmarshalJSON(data []byte) error {
 	if err != nil {
 		return fmt.Errorf("core: persisted RHMD invalid: %w", err)
 	}
+	// Keep the persisted probability bits verbatim: NewWeighted
+	// re-normalizes, and the resulting 1-ulp drift would change
+	// Fingerprint() — the identity crash recovery matches pool-swap WAL
+	// entries against. The sampler still uses the normalized weights.
+	rebuilt.Probs = in.Probs
 	*r = *rebuilt
 	return nil
+}
+
+// Fingerprint returns a stable identity hash of the pool: FNV-64a over
+// the switching key, pool size, and — per detector — the spec, the
+// switching probability bits, and the detector's full JSON encoding
+// (scaler, model parameters, threshold). Covering the trained
+// parameters matters: a retrained pool keeps the same specs, probs and
+// key but must hash differently, because serving layers use the
+// fingerprint to tell pool generations apart across crash recovery.
+func (r *RHMD) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "key=%d n=%d;", r.Key, len(r.Detectors))
+	for i, d := range r.Detectors {
+		fmt.Fprintf(h, "%d:%s:%016x:", i, d.Spec, math.Float64bits(r.Probs[i]))
+		// Detector JSON marshaling is deterministic (struct fields emit
+		// in declaration order), so identical parameters hash equal.
+		body, err := json.Marshal(d)
+		if err != nil {
+			fmt.Fprintf(h, "marshal-err=%v", err)
+		}
+		h.Write(body) //rhmd:ignore errclose hash.Hash64 writes never fail
+		h.Write([]byte{';'})
+	}
+	return h.Sum64()
 }
 
 // SaveRHMD writes the randomized detector as JSON.

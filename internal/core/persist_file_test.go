@@ -25,6 +25,13 @@ func TestRHMDFileRoundTrip(t *testing.T) {
 	if got.Key != orig.Key || got.Size() != orig.Size() {
 		t.Fatalf("round trip changed pool: key %d→%d, size %d→%d", orig.Key, got.Key, orig.Size(), got.Size())
 	}
+	// The fingerprint is the pool's identity across crash recovery
+	// (pool-swap WAL entries, the drift-guard archive): a persistence
+	// round trip must preserve it bit-for-bit, including the probability
+	// vector NewWeighted would otherwise re-normalize.
+	if got.Fingerprint() != orig.Fingerprint() {
+		t.Fatalf("round trip changed fingerprint %016x → %016x", orig.Fingerprint(), got.Fingerprint())
+	}
 	// The switching schedule is keyed and deterministic: identical pools
 	// must produce identical decisions.
 	p := f.atkTest[0]

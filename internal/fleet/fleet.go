@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rhmd/internal/checkpoint"
@@ -81,12 +82,19 @@ func (c *Config) fill() {
 // consistent-hash router and a supervisor that restarts dead shards
 // from their own checkpoints.
 type Fleet struct {
-	cfg    Config
-	rhmd   *core.RHMD
-	ring   *ring
-	shards []*shard
-	reg    *obs.Registry
-	ins    *fleetInstruments
+	cfg Config
+	// rhmd is the immutable construction base: restarted generations are
+	// always built from it so checkpoint restore replays each shard's
+	// history (snapshot fingerprint, WAL swap entries) exactly as
+	// recorded; pool/poolEpoch are the fleet's current target generation
+	// that restarted shards are caught up to afterwards (see swap.go).
+	rhmd      *core.RHMD
+	pool      atomic.Pointer[core.RHMD]
+	poolEpoch atomic.Uint64
+	ring      *ring
+	shards    []*shard
+	reg       *obs.Registry
+	ins       *fleetInstruments
 
 	results chan monitor.Report
 	crashCh chan int // shard indices whose workers crashed
@@ -155,6 +163,7 @@ func New(r *core.RHMD, cfg Config) (*Fleet, error) {
 		f.ins.state[i].Set(float64(Serving))
 	}
 	f.ins.serving.Set(float64(cfg.Shards))
+	f.alignPools()
 	return f, nil
 }
 
@@ -460,6 +469,16 @@ func (f *Fleet) restart(sh *shard, reason string) {
 		eng2, store2, _, err := f.newGeneration(sh, newGen)
 		if err != nil {
 			f.ins.restartErrs[sh.idx].Inc()
+			continue
+		}
+		// The rebuilt engine restored its own pool history; if the fleet
+		// swapped generations while this shard was down, catch it up to
+		// the current target before it goes live.
+		if err := f.catchUp(sh, eng2, f.pool.Load(), f.poolEpoch.Load()); err != nil {
+			f.ins.restartErrs[sh.idx].Inc()
+			if store2 != nil {
+				_ = store2.Close() // the generation never went live
+			}
 			continue
 		}
 		f.mu.Lock()

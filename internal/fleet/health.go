@@ -19,8 +19,10 @@ type fleetInstruments struct {
 	restarts    []*obs.Counter // completed recoveries
 	rerouted    []*obs.Counter // submissions a down home shard lost to siblings
 	restartErrs []*obs.Counter // failed rebuild attempts and store-close errors
+	swapErrs    []*obs.Counter // per-shard pool-swap failures (shard converges on restart)
 	shed        *obs.Counter   // fleet-level sheds (closed fleet, no serving shard)
 	serving     *obs.Gauge     // shards currently serving
+	poolEpoch   *obs.Gauge     // fleet-level target pool epoch
 }
 
 // newFleetInstruments registers the fleet metric families in reg and
@@ -30,10 +32,12 @@ func newFleetInstruments(reg *obs.Registry, shards int) *fleetInstruments {
 	restarts := reg.CounterVec("rhmd_fleet_shard_restarts_total", "Completed shard recoveries.", "shard")
 	rerouted := reg.CounterVec("rhmd_fleet_rerouted_total", "Submissions rerouted away from a down home shard.", "shard")
 	errs := reg.CounterVec("rhmd_fleet_restart_errors_total", "Failed shard rebuild attempts and store-close errors.", "shard")
+	swapErrs := reg.CounterVec("rhmd_fleet_pool_swap_errors_total", "Per-shard pool-swap failures; the shard converges to the fleet epoch on its next restart.", "shard")
 	ins := &fleetInstruments{
 		shed: reg.Counter("rhmd_fleet_shed_total",
 			"Submissions shed at the fleet layer: fleet closed or no shard serving. Per-shard queue sheds are counted by the shard engines."),
-		serving: reg.Gauge("rhmd_fleet_serving", "Shards currently in the serving state."),
+		serving:   reg.Gauge("rhmd_fleet_serving", "Shards currently in the serving state."),
+		poolEpoch: reg.Gauge("rhmd_fleet_pool_epoch", "Fleet-level target pool epoch every serving shard converges to."),
 	}
 	for i := 0; i < shards; i++ {
 		idx := strconv.Itoa(i)
@@ -41,6 +45,7 @@ func newFleetInstruments(reg *obs.Registry, shards int) *fleetInstruments {
 		ins.restarts = append(ins.restarts, restarts.With(idx))
 		ins.rerouted = append(ins.rerouted, rerouted.With(idx))
 		ins.restartErrs = append(ins.restartErrs, errs.With(idx))
+		ins.swapErrs = append(ins.swapErrs, swapErrs.With(idx))
 	}
 	return ins
 }
@@ -75,17 +80,21 @@ type ShardHealth struct {
 // FleetStats is the aggregated health snapshot the /fleet endpoint
 // serves.
 type FleetStats struct {
-	Shards  int           `json:"shards"`
-	Serving int           `json:"serving"`
-	Shed    uint64        `json:"shed"`
-	Health  []ShardHealth `json:"shard_health"`
+	Shards  int    `json:"shards"`
+	Serving int    `json:"serving"`
+	Shed    uint64 `json:"shed"`
+	// PoolEpoch is the fleet-level target pool generation; each shard's
+	// actual serving epoch is in its stats row (a lagging shard is one
+	// that missed a swap while down and has not finished catching up).
+	PoolEpoch uint64        `json:"pool_epoch"`
+	Health    []ShardHealth `json:"shard_health"`
 }
 
 // Stats snapshots every shard: supervisor state plus the live engine
 // generation's Stats. Safe to call concurrently with traffic and
 // restarts; a shard mid-swap reports its most recent engine.
 func (f *Fleet) Stats() FleetStats {
-	out := FleetStats{Shards: len(f.shards), Shed: f.ins.shed.Value()}
+	out := FleetStats{Shards: len(f.shards), Shed: f.ins.shed.Value(), PoolEpoch: f.poolEpoch.Load()}
 	for _, sh := range f.shards {
 		f.mu.Lock()
 		reason := sh.lastReason

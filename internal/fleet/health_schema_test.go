@@ -74,7 +74,7 @@ func TestFleetHealthJSONSchema(t *testing.T) {
 	if err := json.Unmarshal(raw, &top); err != nil {
 		t.Fatal(err)
 	}
-	requireKeys(t, "top level", top, []string{"shards", "serving", "shed", "shard_health"})
+	requireKeys(t, "top level", top, []string{"shards", "serving", "shed", "pool_epoch", "shard_health"})
 
 	var rows []map[string]json.RawMessage
 	if err := json.Unmarshal(top["shard_health"], &rows); err != nil {
@@ -112,6 +112,7 @@ func TestFleetHealthJSONSchema(t *testing.T) {
 			"retries", "timeouts", "panics", "worker_crashes",
 			"checkpoint_failures",
 			"queue_depth", "inflight", "workers_live",
+			"pool_epoch", "pool_swaps",
 			"quarantines", "restores", "detectors",
 			"live_pool", "half_open_pool", "pool_size",
 		})

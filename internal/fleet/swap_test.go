@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"rhmd/internal/core"
+)
+
+// fleetVariantPool deep-copies the fixture pool and perturbs the
+// thresholds: the shape of a retrained generation with a distinct
+// fingerprint.
+func fleetVariantPool(t testing.TB, base *core.RHMD) *core.RHMD {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := core.SaveRHMD(&buf, base); err != nil {
+		t.Fatal(err)
+	}
+	v, err := core.LoadRHMD(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range v.Detectors {
+		d.Threshold += 1e-6
+	}
+	return v
+}
+
+// TestFleetSwapPoolReachesAllShards: a fleet-wide swap under live
+// traffic lands the new generation on every serving shard, the fleet
+// epoch and per-shard epochs agree, and no verdict is lost or
+// duplicated across the swap.
+func TestFleetSwapPoolReachesAllShards(t *testing.T) {
+	f := getFixture(t)
+	next := fleetVariantPool(t, f.rhmd)
+	fl, err := New(f.rhmd, Config{Shards: 3, Engine: engineTemplate(f)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Start(context.Background())
+	h := startHarness(f, fl)
+
+	// Let some pre-swap traffic land, then swap mid-stream.
+	waitFor(t, 10e9, "pre-swap deliveries", func() bool {
+		return h.delivered(0, 0)+h.delivered(1, 0)+h.delivered(2, 0) > 5
+	})
+	epoch, err := fl.SwapPool(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 || fl.PoolEpoch() != 1 {
+		t.Fatalf("fleet swap returned epoch %d, fleet at %d; want 1", epoch, fl.PoolEpoch())
+	}
+	for i, sh := range fl.shards {
+		eng := sh.eng.Load()
+		if eng.PoolEpoch() != 1 {
+			t.Fatalf("shard %d at pool epoch %d after fleet swap", i, eng.PoolEpoch())
+		}
+		if eng.PoolFingerprint() != next.Fingerprint() {
+			t.Fatalf("shard %d serving fingerprint %016x, want %016x", i, eng.PoolFingerprint(), next.Fingerprint())
+		}
+	}
+
+	counts, _ := h.finish()
+	requireUnique(t, counts)
+
+	st := fl.Stats()
+	if st.PoolEpoch != 1 {
+		t.Fatalf("fleet stats pool_epoch %d, want 1", st.PoolEpoch)
+	}
+	for _, sh := range st.Health {
+		if sh.Stats.PoolEpoch != 1 || sh.Stats.PoolSwaps != 1 {
+			t.Fatalf("shard %d health pool_epoch=%d pool_swaps=%d, want 1/1",
+				sh.Shard, sh.Stats.PoolEpoch, sh.Stats.PoolSwaps)
+		}
+	}
+
+	if _, err := fl.SwapPool(next); err == nil {
+		t.Fatal("SwapPool succeeded on a closed fleet")
+	}
+}
+
+// TestFleetSwapRestartCatchUp: a durable shard killed after a fleet
+// swap restores its swap WAL entry through ResolvePool and — via the
+// restart catch-up pass — comes back serving the fleet's target
+// generation.
+func TestFleetSwapRestartCatchUp(t *testing.T) {
+	f := getFixture(t)
+	next := fleetVariantPool(t, f.rhmd)
+	resolver := func(epoch, fingerprint uint64) (*core.RHMD, error) {
+		switch fingerprint {
+		case f.rhmd.Fingerprint():
+			return f.rhmd, nil
+		case next.Fingerprint():
+			return next, nil
+		}
+		return nil, fmt.Errorf("unknown fingerprint %016x", fingerprint)
+	}
+	tmpl := engineTemplate(f)
+	tmpl.ResolvePool = resolver
+	fl, err := New(f.rhmd, Config{Shards: 2, CheckpointDir: t.TempDir(), Engine: tmpl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Start(context.Background())
+	h := startHarness(f, fl)
+	defer h.finish()
+
+	waitFor(t, 10e9, "pre-swap deliveries", func() bool {
+		return h.delivered(0, 0)+h.delivered(1, 0) > 3
+	})
+	if _, err := fl.SwapPool(next); err != nil {
+		t.Fatal(err)
+	}
+
+	fl.Kill(0, "swap-test chaos")
+	waitFor(t, 30e9, "shard 0 restart", func() bool {
+		st := fl.Stats()
+		sh := st.Health[0]
+		return sh.State == Serving && sh.Restarts >= 1
+	})
+	eng := fl.shards[0].eng.Load()
+	if eng.PoolEpoch() != 1 || eng.PoolFingerprint() != next.Fingerprint() {
+		t.Fatalf("restarted shard at epoch %d fingerprint %016x, want 1/%016x",
+			eng.PoolEpoch(), eng.PoolFingerprint(), next.Fingerprint())
+	}
+	if fl.Stats().Health[0].Stats.PoolEpoch != 1 {
+		t.Fatal("restarted shard health does not report the fleet pool epoch")
+	}
+	// A subsequent fleet-wide swap keeps advancing both shards together.
+	if _, err := fl.SwapPool(f.rhmd); err != nil {
+		t.Fatal(err)
+	}
+	for i, sh := range fl.shards {
+		if got := sh.eng.Load().PoolEpoch(); got != 2 {
+			t.Fatalf("shard %d at epoch %d after second swap, want 2", i, got)
+		}
+	}
+}

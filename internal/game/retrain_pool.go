@@ -1,0 +1,92 @@
+package game
+
+import (
+	"fmt"
+	"time"
+
+	"rhmd/internal/core"
+	"rhmd/internal/dataset"
+	"rhmd/internal/hmd"
+	"rhmd/internal/prog"
+)
+
+// PoolRetrainResult is the outcome of one online pool retraining round.
+type PoolRetrainResult struct {
+	// Pool is the retrained RHMD: the same specs, switching policy and
+	// key as the base pool, with every base detector retrained on the
+	// replay corpus. Its fingerprint differs from the base pool's
+	// exactly when the trained parameters changed.
+	Pool *core.RHMD
+	// TrainedAt is Config.Clock's reading at completion (zero when no
+	// clock is injected — the deterministic default).
+	TrainedAt time.Time
+	// Benign and Malware count the corpus programs per class.
+	Benign, Malware int
+}
+
+// RetrainPool retrains every base detector of a pool against a replay
+// corpus of labeled programs — the online counterpart of the paper's §6
+// retraining defense, used by internal/driftguard when live drift
+// fires. The pool shape is preserved (same specs at the same positions,
+// same switching probabilities, same key), so the result is always a
+// valid Engine.SwapPool candidate. All stochastic choices flow through
+// Config's Streams/Seed seam; cfg.Algo/Kind/Period/InjectCount are not
+// consulted (the specs come from the base pool).
+func RetrainPool(base *core.RHMD, corpus []*prog.Program, traceLen int, cfg Config) (*PoolRetrainResult, error) {
+	if base == nil || base.Size() == 0 {
+		return nil, fmt.Errorf("game: RetrainPool needs a non-empty base pool")
+	}
+	benign, malware := split(corpus)
+	if len(benign) == 0 || len(malware) == 0 {
+		return nil, fmt.Errorf("game: RetrainPool corpus needs both classes (%d benign, %d malware)",
+			len(benign), len(malware))
+	}
+	maxPeriod := 0
+	for _, d := range base.Detectors {
+		if d.Spec.Period > maxPeriod {
+			maxPeriod = d.Spec.Period
+		}
+	}
+	if traceLen < maxPeriod {
+		return nil, fmt.Errorf("game: RetrainPool traceLen %d shorter than the pool's largest period %d",
+			traceLen, maxPeriod)
+	}
+
+	// One window extraction per distinct period; detectors of the same
+	// period share it regardless of feature kind (MultiWindowData holds
+	// every kind).
+	data := map[int]*dataset.MultiWindowData{}
+	for _, d := range base.Detectors {
+		if _, ok := data[d.Spec.Period]; ok {
+			continue
+		}
+		mw, err := dataset.ExtractWindows(corpus, d.Spec.Period, traceLen)
+		if err != nil {
+			return nil, fmt.Errorf("game: extracting replay windows at period %d: %w", d.Spec.Period, err)
+		}
+		data[d.Spec.Period] = mw
+	}
+
+	// Per-detector training seeds come off the injected stream, so the
+	// whole round is a pure function of (base, corpus, cfg).
+	r := cfg.stream("game-retrain-pool")
+	newDets := make([]*hmd.Detector, len(base.Detectors))
+	for i, d := range base.Detectors {
+		nd, err := hmd.Train(d.Spec, data[d.Spec.Period].Get(d.Spec.Kind), r.Uint64())
+		if err != nil {
+			return nil, fmt.Errorf("game: retraining detector %d (%s): %w", i, d.Spec, err)
+		}
+		newDets[i] = nd
+	}
+
+	pool, err := core.NewWeighted(newDets, base.Probs, base.Key)
+	if err != nil {
+		return nil, fmt.Errorf("game: rebuilding retrained pool: %w", err)
+	}
+	return &PoolRetrainResult{
+		Pool:      pool,
+		TrainedAt: cfg.now(),
+		Benign:    len(benign),
+		Malware:   len(malware),
+	}, nil
+}

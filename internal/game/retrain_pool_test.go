@@ -1,0 +1,144 @@
+package game
+
+import (
+	"testing"
+	"time"
+
+	"rhmd/internal/core"
+	"rhmd/internal/dataset"
+	"rhmd/internal/features"
+	"rhmd/internal/prog"
+	"rhmd/internal/rng"
+)
+
+// basePool trains a compact three-detector pool (all kinds at one
+// period) for the RetrainPool tests.
+func basePool(t testing.TB) *core.RHMD {
+	t.Helper()
+	f := getFixture(t)
+	mw, err := dataset.ExtractWindows(f.train, 2000, f.traceLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := core.PoolSpecs(features.AllKinds(), []int{2000}, "lr")
+	pool, err := core.TrainPool(specs, map[int]*dataset.MultiWindowData{2000: mw}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.New(pool, 0x6A3E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRetrainPoolShapeAndDeterminism: a retrained pool preserves the
+// base pool's shape exactly (specs, probs, key — SwapPool's validation
+// contract), changes the trained parameters, and is a pure function of
+// (base, corpus, seed).
+func TestRetrainPoolShapeAndDeterminism(t *testing.T) {
+	f := getFixture(t)
+	base := basePool(t)
+	run := func(seed uint64) *PoolRetrainResult {
+		res, err := RetrainPool(base, f.test, f.traceLen, Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run(9)
+	if a.Pool.Size() != base.Size() || a.Pool.Key != base.Key {
+		t.Fatalf("retrain changed pool shape: size %d→%d key %d→%d",
+			base.Size(), a.Pool.Size(), base.Key, a.Pool.Key)
+	}
+	for i := range base.Detectors {
+		if a.Pool.Detectors[i].Spec != base.Detectors[i].Spec {
+			t.Fatalf("detector %d spec changed: %s → %s", i, base.Detectors[i].Spec, a.Pool.Detectors[i].Spec)
+		}
+		if a.Pool.Probs[i] != base.Probs[i] {
+			t.Fatalf("detector %d switching probability changed: %v → %v", i, base.Probs[i], a.Pool.Probs[i])
+		}
+	}
+	if a.Pool.Fingerprint() == base.Fingerprint() {
+		t.Fatal("retraining on a different corpus left the fingerprint unchanged")
+	}
+	benign, malware := split(f.test)
+	if a.Benign != len(benign) || a.Malware != len(malware) {
+		t.Fatalf("corpus counts %d/%d, want %d/%d", a.Benign, a.Malware, len(benign), len(malware))
+	}
+	if !a.TrainedAt.IsZero() {
+		t.Fatalf("no clock injected but TrainedAt = %v", a.TrainedAt)
+	}
+	if b := run(9); b.Pool.Fingerprint() != a.Pool.Fingerprint() {
+		t.Fatalf("same seed produced different pools: %016x vs %016x",
+			a.Pool.Fingerprint(), b.Pool.Fingerprint())
+	}
+}
+
+// TestRetrainPoolStreamsSeam: an injected Streams hook owns every
+// stochastic choice — the named stream is requested, and supplying the
+// default derivation through the seam reproduces the Seed-only result
+// bit for bit.
+func TestRetrainPoolStreamsSeam(t *testing.T) {
+	f := getFixture(t)
+	base := basePool(t)
+	direct, err := RetrainPool(base, f.test, f.traceLen, Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	seamed, err := RetrainPool(base, f.test, f.traceLen, Config{
+		Seed: 7, // must be ignored once Streams is set
+		Streams: func(key string) *rng.Source {
+			keys = append(keys, key)
+			return rng.NewKeyed(42, key)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != "game-retrain-pool" {
+		t.Fatalf("streams requested %v, want [game-retrain-pool]", keys)
+	}
+	if seamed.Pool.Fingerprint() != direct.Pool.Fingerprint() {
+		t.Fatalf("seam-equivalent stream diverged: %016x vs %016x",
+			seamed.Pool.Fingerprint(), direct.Pool.Fingerprint())
+	}
+}
+
+// TestRetrainPoolClock: the Clock seam stamps TrainedAt; the default
+// leaves it zero (covered above).
+func TestRetrainPoolClock(t *testing.T) {
+	f := getFixture(t)
+	base := basePool(t)
+	want := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	res, err := RetrainPool(base, f.test, f.traceLen, Config{Seed: 1, Clock: func() time.Time { return want }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TrainedAt.Equal(want) {
+		t.Fatalf("TrainedAt %v, want %v", res.TrainedAt, want)
+	}
+}
+
+// TestRetrainPoolValidation: missing base, single-class corpus, and a
+// trace shorter than the largest detector period are all refused.
+func TestRetrainPoolValidation(t *testing.T) {
+	f := getFixture(t)
+	base := basePool(t)
+	if _, err := RetrainPool(nil, f.test, f.traceLen, Config{}); err == nil {
+		t.Fatal("RetrainPool accepted a nil base pool")
+	}
+	var benignOnly []*prog.Program
+	for _, p := range f.test {
+		if p.Label != prog.Malware {
+			benignOnly = append(benignOnly, p)
+		}
+	}
+	if _, err := RetrainPool(base, benignOnly, f.traceLen, Config{}); err == nil {
+		t.Fatal("RetrainPool accepted a single-class corpus")
+	}
+	if _, err := RetrainPool(base, f.test, 1999, Config{}); err == nil {
+		t.Fatal("RetrainPool accepted a trace shorter than the largest period")
+	}
+}

@@ -4,8 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
-	"math"
 	"time"
 
 	"rhmd/internal/checkpoint"
@@ -43,8 +41,10 @@ import (
 // one unit). An event is therefore in the snapshot or in the replayed
 // WAL — never both, never neither.
 
-// engineStateVersion guards the snapshot payload schema.
-const engineStateVersion = 1
+// engineStateVersion guards the snapshot payload schema. Version 2
+// added PoolEpoch for the epoch-versioned pool-swap protocol; version-1
+// snapshots (written before swaps existed) still load, as epoch 0.
+const engineStateVersion = 2
 
 // EngineState is the engine's serializable state: everything Restore
 // needs to resume a crashed monitor — cumulative counters, the breaker
@@ -54,6 +54,12 @@ type EngineState struct {
 	Version     int    `json:"version"`
 	Fingerprint uint64 `json:"fingerprint"`
 	SavedUnix   int64  `json:"saved_unix"`
+	// PoolEpoch is the serving pool generation at snapshot time
+	// (version ≥ 2; 0 in version-1 snapshots). Together with
+	// Fingerprint it names exactly which pool the restored engine must
+	// serve; Config.ResolvePool materializes generations other than the
+	// constructed one.
+	PoolEpoch uint64 `json:"pool_epoch,omitempty"`
 
 	// WindowClock is the pool-wide processed-window counter that drives
 	// probe cooldowns.
@@ -105,6 +111,14 @@ type walBreaker struct {
 	Restore  bool `json:"restore"` // false = quarantine
 }
 
+// walPoolSwap is the WAL payload for one pool-generation swap: the
+// epoch the new pool serves as, plus its fingerprint so replay can
+// resolve (via Config.ResolvePool) exactly the pool that went live.
+type walPoolSwap struct {
+	Epoch       uint64 `json:"epoch"`
+	Fingerprint uint64 `json:"fingerprint"`
+}
+
 // RestoreInfo summarizes what Engine.Restore recovered.
 type RestoreInfo struct {
 	// Gen is the snapshot generation restored (0 = WAL-only recovery
@@ -126,24 +140,22 @@ func (ri *RestoreInfo) String() string {
 
 // poolFingerprint identifies a trained pool + switching policy, so a
 // checkpoint is never restored into an engine serving a different pool.
-func poolFingerprint(r *core.RHMD) uint64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "key=%d n=%d;", r.Key, r.Size())
-	for i, d := range r.Detectors {
-		fmt.Fprintf(h, "%d:%s:%016x;", i, d.Spec, math.Float64bits(r.Probs[i]))
-	}
-	return h.Sum64()
-}
+// It delegates to core.RHMD.Fingerprint, which covers the trained model
+// parameters too — retrained generations with identical specs/probs/key
+// must not collide, or swap recovery could restore the wrong pool.
+func poolFingerprint(r *core.RHMD) uint64 { return r.Fingerprint() }
 
 // SnapshotState captures the engine's durable state. Callers that need
 // snapshot/WAL exactness hold ckptMu exclusively around it (Checkpoint
 // does); bare calls get a point-in-time read that may interleave with
 // in-flight verdicts.
 func (e *Engine) SnapshotState() *EngineState {
-	breakers, clock, quar, rest := e.health.exportState()
+	g := e.pool.Load()
+	breakers, clock, quar, rest := g.health.exportState()
 	return &EngineState{
 		Version:     engineStateVersion,
-		Fingerprint: poolFingerprint(e.rhmd),
+		Fingerprint: poolFingerprint(g.rhmd),
+		PoolEpoch:   g.epoch,
 		SavedUnix:   time.Now().Unix(),
 		WindowClock: clock,
 		Counters: CounterState{
@@ -231,21 +243,48 @@ func (e *Engine) Restore() (*RestoreInfo, error) {
 			return nil, err
 		}
 	}
-	e.health.republish()
+	e.pool.Load().health.republish()
 	return &RestoreInfo{Gen: res.Gen, Replayed: len(res.Entries), Fallbacks: res.Fallbacks, TornWAL: res.TornWAL}, nil
 }
 
-// applySnapshot loads a decoded snapshot into the (zero-state) engine.
+// applySnapshot loads a decoded snapshot into the (zero-state) engine,
+// first re-materializing the pool generation the snapshot belongs to
+// when it is not the one the engine was constructed with.
 func (e *Engine) applySnapshot(st *EngineState) error {
-	if st.Version != engineStateVersion {
-		return fmt.Errorf("monitor: checkpoint state version %d (want %d)", st.Version, engineStateVersion)
+	if st.Version < 1 || st.Version > engineStateVersion {
+		return fmt.Errorf("monitor: checkpoint state version %d (want 1..%d)", st.Version, engineStateVersion)
 	}
-	if fp := poolFingerprint(e.rhmd); st.Fingerprint != fp {
-		return fmt.Errorf("monitor: checkpoint belongs to a different pool (fingerprint %016x, engine %016x)",
-			st.Fingerprint, fp)
+	g := e.pool.Load()
+	if fp := poolFingerprint(g.rhmd); st.Fingerprint != fp {
+		// A later generation (or a foreign pool). With a ResolvePool
+		// hook the engine reinstalls the checkpointed generation; without
+		// one this stays the pre-swap wrong-pool hard error.
+		if e.cfg.ResolvePool == nil {
+			return fmt.Errorf("monitor: checkpoint belongs to a different pool (fingerprint %016x, engine %016x)",
+				st.Fingerprint, fp)
+		}
+		r, err := e.cfg.ResolvePool(st.PoolEpoch, st.Fingerprint)
+		if err != nil {
+			return fmt.Errorf("monitor: resolving checkpointed pool generation %d (%016x): %w",
+				st.PoolEpoch, st.Fingerprint, err)
+		}
+		if got := poolFingerprint(r); got != st.Fingerprint {
+			return fmt.Errorf("monitor: ResolvePool returned fingerprint %016x for checkpointed %016x", got, st.Fingerprint)
+		}
+		if err := e.installGen(st.PoolEpoch, r); err != nil {
+			return err
+		}
+		g = e.pool.Load()
+	} else if st.PoolEpoch != g.epoch {
+		// Same pool bytes at a different epoch (a rollback re-promoted
+		// the constructed pool): keep the pool, adopt the epoch.
+		if err := e.installGen(st.PoolEpoch, g.rhmd); err != nil {
+			return err
+		}
+		g = e.pool.Load()
 	}
-	if len(st.Breakers) != e.rhmd.Size() {
-		return fmt.Errorf("monitor: checkpoint has %d breakers for a pool of %d", len(st.Breakers), e.rhmd.Size())
+	if len(st.Breakers) != g.rhmd.Size() {
+		return fmt.Errorf("monitor: checkpoint has %d breakers for a pool of %d", len(st.Breakers), g.rhmd.Size())
 	}
 	c := st.Counters
 	e.ins.programs.Add(c.Programs)
@@ -258,11 +297,12 @@ func (e *Engine) applySnapshot(st *EngineState) error {
 	e.ins.retries.Add(c.Retries)
 	e.ins.timeouts.Add(c.Timeouts)
 	e.ins.panics.Add(c.Panics)
-	return e.health.restoreState(st.Breakers, st.WindowClock, st.Quarantines, st.Restores)
+	return g.health.restoreState(st.Breakers, st.WindowClock, st.Quarantines, st.Restores)
 }
 
 // applyEntry replays one WAL record on top of the snapshot state.
 func (e *Engine) applyEntry(entry checkpoint.Entry) error {
+	g := e.pool.Load()
 	switch entry.Kind {
 	case checkpoint.KindVerdict:
 		var v walVerdict
@@ -278,16 +318,42 @@ func (e *Engine) applyEntry(entry checkpoint.Entry) error {
 		e.ins.flagged.Add(uint64(v.Flagged))
 		e.ins.degraded.Add(uint64(v.Degraded))
 		e.ins.dropped.Add(uint64(v.Dropped))
-		e.health.advanceClock(uint64(v.Windows + v.Dropped))
+		g.health.advanceClock(uint64(v.Windows + v.Dropped))
 	case checkpoint.KindBreaker:
 		var b walBreaker
 		if err := json.Unmarshal(entry.Payload, &b); err != nil {
 			return fmt.Errorf("monitor: decoding WAL breaker entry: %w", err)
 		}
-		if b.Detector < 0 || b.Detector >= e.rhmd.Size() {
-			return fmt.Errorf("monitor: WAL breaker entry for detector %d of %d", b.Detector, e.rhmd.Size())
+		if b.Detector < 0 || b.Detector >= g.rhmd.Size() {
+			return fmt.Errorf("monitor: WAL breaker entry for detector %d of %d", b.Detector, g.rhmd.Size())
 		}
-		e.health.applyTransition(b.Detector, b.Restore)
+		g.health.applyTransition(b.Detector, b.Restore)
+	case checkpoint.KindPoolSwap:
+		var ps walPoolSwap
+		if err := json.Unmarshal(entry.Payload, &ps); err != nil {
+			return fmt.Errorf("monitor: decoding WAL pool-swap entry: %w", err)
+		}
+		r := g.rhmd
+		if ps.Fingerprint != poolFingerprint(r) {
+			if e.cfg.ResolvePool == nil {
+				return fmt.Errorf("monitor: WAL pool swap to unknown fingerprint %016x (epoch %d) and no ResolvePool configured",
+					ps.Fingerprint, ps.Epoch)
+			}
+			var err error
+			if r, err = e.cfg.ResolvePool(ps.Epoch, ps.Fingerprint); err != nil {
+				return fmt.Errorf("monitor: resolving WAL pool swap to generation %d (%016x): %w",
+					ps.Epoch, ps.Fingerprint, err)
+			}
+			if got := poolFingerprint(r); got != ps.Fingerprint {
+				return fmt.Errorf("monitor: ResolvePool returned fingerprint %016x for WAL-logged %016x", got, ps.Fingerprint)
+			}
+		}
+		// Replaying a swap mirrors live SwapPool semantics exactly:
+		// fresh health board (breakers closed, window clock zero), so
+		// later WAL entries act on the same state they did live.
+		if err := e.installGen(ps.Epoch, r); err != nil {
+			return err
+		}
 	default:
 		// Unknown kinds are skipped, not fatal: a newer writer may log
 		// event kinds an older reader does not know.
@@ -356,11 +422,19 @@ func (e *Engine) commitVerdict(rep Report, tr *span.Trace, ws *span.Span) (durab
 // classification outcome and durably logs any live-set change, as one
 // unit relative to snapshot capture. exemplarID joins the latency
 // observation to its verdict trace (see healthBoard.report).
-func (e *Engine) commitTransition(idx int, ok bool, latency time.Duration, exemplarID string) {
+func (e *Engine) commitTransition(g *poolGen, idx int, ok bool, latency time.Duration, exemplarID string) {
 	e.ckptMu.RLock()
 	defer e.ckptMu.RUnlock()
-	quarantined, restored := e.health.report(idx, ok, latency, exemplarID)
+	quarantined, restored := g.health.report(idx, ok, latency, exemplarID)
 	if e.ckpt == nil || (!quarantined && !restored) {
+		return
+	}
+	if g != e.pool.Load() {
+		// The transition happened on a retiring generation — a swap
+		// published mid-program. Its board is about to be discarded, and
+		// the WAL already carries the swap entry that resets breaker
+		// state on replay, so logging this transition would corrupt the
+		// new generation's replayed board.
 		return
 	}
 	payload, err := json.Marshal(walBreaker{Detector: idx, Restore: restored})

@@ -124,6 +124,13 @@ type Config struct {
 	// a fleet supervisor uses the callback as its shard-death signal.
 	// Called from the dying worker goroutine; must not block.
 	OnWorkerCrash func(err error)
+	// ResolvePool, when non-nil, lets Restore rebuild pool generations
+	// other than the one the engine was constructed with: given the
+	// epoch and fingerprint a checkpointed swap recorded, it returns the
+	// matching trained pool (typically from a driftguard.Archive). With
+	// a nil ResolvePool a checkpoint whose fingerprint does not match
+	// the constructed pool is a hard error, the pre-swap behavior.
+	ResolvePool func(epoch, fingerprint uint64) (*core.RHMD, error)
 }
 
 func (c *Config) fill() {
@@ -203,6 +210,12 @@ type Report struct {
 	// merges shard result streams.
 	Shard    int
 	ShardGen uint64
+	// PoolEpoch is the detector-pool generation this verdict was
+	// classified by (0 until the first SwapPool). In-flight programs
+	// finish on the generation they started on, so after a swap the
+	// epoch tells canary evaluation — and offline analysis — exactly
+	// which pool produced each verdict.
+	PoolEpoch uint64
 }
 
 // submission carries one queued program together with its verdict
@@ -224,13 +237,19 @@ type submission struct {
 // start workers with Start, feed with Submit, consume Results, and
 // Close to drain.
 type Engine struct {
-	rhmd *core.RHMD
-	cfg  Config
+	cfg Config
+
+	// pool is the serving generation: the detector pool, its health
+	// board, and the swap epoch. Hot-path readers load it exactly once
+	// per program, so an in-flight verdict finishes on the generation it
+	// started on while SwapPool publishes the next one atomically (see
+	// swap.go). swapMu serializes swaps.
+	pool   atomic.Pointer[poolGen]
+	swapMu sync.Mutex
 
 	queue   chan submission
 	results chan Report
 	wg      sync.WaitGroup
-	health  *healthBoard
 	reg     *obs.Registry
 	ins     *instruments
 	tracer  *obs.Tracer
@@ -271,11 +290,9 @@ func New(r *core.RHMD, cfg Config) (*Engine, error) {
 		reg = obs.NewRegistry()
 	}
 	e := &Engine{
-		rhmd:    r,
 		cfg:     cfg,
 		queue:   make(chan submission, cfg.QueueDepth),
 		results: make(chan Report, cfg.QueueDepth),
-		health:  newHealthBoard(r, cfg.FailureThreshold, uint64(cfg.ProbeAfter)),
 		reg:     reg,
 		ins:     newInstruments(reg, r),
 		tracer:  cfg.Tracer,
@@ -286,7 +303,12 @@ func New(r *core.RHMD, cfg Config) (*Engine, error) {
 	// Surface the event ring's overwrite drops as a scrapeable counter
 	// alongside the engine's own instruments (nil-safe no-op).
 	e.tracer.Instrument(reg)
-	e.health.attach(e.ins, e.tracer)
+	g := &poolGen{
+		rhmd:   r,
+		health: newHealthBoard(r, cfg.FailureThreshold, uint64(cfg.ProbeAfter)),
+	}
+	g.health.attach(e.ins, e.tracer)
+	e.pool.Store(g)
 	if e.ckpt != nil {
 		e.ckpt.Instrument(reg, cfg.Tracer)
 	}
@@ -418,8 +440,11 @@ func (e *Engine) Progress() uint64 { return e.progress.Load() }
 // counters now live in the observability registry (the same numbers a
 // /metrics scrape sees); the snapshot's public shape is unchanged.
 func (e *Engine) Stats() Stats {
-	det, quar, rest := e.health.snapshot()
+	g := e.pool.Load()
+	det, quar, rest := g.health.snapshot()
 	return Stats{
+		PoolEpoch:          g.epoch,
+		PoolSwaps:          e.ins.poolSwaps.Value(),
 		ProgramsProcessed:  e.ins.programs.Value(),
 		ProgramsShed:       e.ins.shed.Value(),
 		ProgramsFailed:     e.ins.failed.Value(),

@@ -32,6 +32,9 @@ type instruments struct {
 	quarantines *obs.Counter
 	restores    *obs.Counter
 
+	poolSwaps      *obs.Counter // pool generations published by SwapPool (rollbacks included)
+	poolGeneration *obs.Gauge   // serving pool epoch
+
 	// verdictLatency is the end-to-end submit→durable-commit latency per
 	// program — the histogram the benchrunner estimates p50/p95/p99 from.
 	verdictLatency *obs.Histogram
@@ -74,6 +77,10 @@ func newInstruments(reg *obs.Registry, r *core.RHMD) *instruments {
 			"End-to-end per-program verdict latency, submit to durable commit.", nil),
 		quarantines: breaker.With("quarantine"),
 		restores:    breaker.With("restore"),
+		poolSwaps: reg.Counter("rhmd_pool_swaps_total",
+			"Detector-pool generations published by SwapPool, rollbacks included."),
+		poolGeneration: reg.Gauge("rhmd_pool_generation",
+			"Serving detector-pool epoch; increments per swap, rollbacks included."),
 		queueDepth:  reg.Gauge("rhmd_monitor_queue_depth", "Programs waiting in the submission queue."),
 		inflight:    reg.Gauge("rhmd_monitor_inflight", "Programs picked up by workers and not yet reported."),
 		workersLive: reg.Gauge("rhmd_monitor_workers_live", "Worker goroutines still alive (crashed workers are not replaced)."),

@@ -57,6 +57,11 @@ type Stats struct {
 	QueueDepth  uint64 `json:"queue_depth"`
 	Inflight    uint64 `json:"inflight"`
 	WorkersLive uint64 `json:"workers_live"`
+	// PoolEpoch is the serving detector-pool generation (increments per
+	// SwapPool, rollbacks included); PoolSwaps counts swaps this engine
+	// process published (not restored across restarts — the epoch is).
+	PoolEpoch uint64 `json:"pool_epoch"`
+	PoolSwaps uint64 `json:"pool_swaps"`
 	// Quarantines and Restores count breaker transitions; Detectors
 	// holds the per-detector health rows.
 	Quarantines uint64          `json:"quarantines"`

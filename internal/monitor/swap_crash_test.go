@@ -1,0 +1,155 @@
+package monitor
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"rhmd/internal/checkpoint"
+	"rhmd/internal/core"
+)
+
+const (
+	swapChildEnv = "RHMD_SWAP_CHILD_DIR"
+	swapChildKey = 0x51A9
+)
+
+// TestSwapCrashChild is the re-exec target for TestKillMidSwapRestart:
+// a durable engine streams the corpus, hot-swaps to a variant pool after
+// a few verdicts (printing "swapped" only once SwapPool has returned,
+// i.e. the WAL entry is fsynced), and keeps processing until killed.
+func TestSwapCrashChild(t *testing.T) {
+	dir := os.Getenv(swapChildEnv)
+	if dir == "" {
+		t.Skip("kill-mid-swap child process only")
+	}
+	f := getFixture(t)
+	e := durableEngine(t, dir, swapChildKey, nil)
+	next := variantPool(t, e.Pool())
+	e.Start(context.Background())
+	go func() {
+		for _, p := range f.programs {
+			for !e.Submit(p) {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		e.Close()
+	}()
+	n := 0
+	for rep := range e.Results() {
+		if rep.Err != nil {
+			fmt.Printf("child error: %v\n", rep.Err)
+			os.Exit(1)
+		}
+		n++
+		if n == 3 {
+			if _, err := e.SwapPool(next); err != nil {
+				fmt.Printf("child error: swap: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("swapped")
+		}
+		fmt.Printf("processed %d\n", n)
+	}
+	fmt.Println("drained")
+}
+
+// TestKillMidSwapRestart is the crash half of the swap acceptance: a
+// monitoring process is SIGKILLed immediately after acknowledging a hot
+// swap; the restart over the same checkpoint directory must land on the
+// swapped generation — correct epoch AND fingerprint, resolved through
+// ResolvePool — with every observed verdict intact.
+func TestKillMidSwapRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec kill test skipped in -short mode")
+	}
+	f := getFixture(t)
+	dir := t.TempDir()
+
+	cmd := exec.Command(os.Args[0], "-test.run=^TestSwapCrashChild$", "-test.v")
+	cmd.Env = append(os.Environ(), swapChildEnv+"="+dir)
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Kill the instant the child acknowledges the swap: the WAL entry is
+	// durable, the snapshot is not — restore must replay it.
+	swapped := false
+	observed := 0
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if n, ok := strings.CutPrefix(line, "processed "); ok {
+			fmt.Sscanf(n, "%d", &observed)
+		}
+		if line == "swapped" {
+			swapped = true
+			if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if line == "drained" {
+			t.Fatal("child drained the whole corpus before swapping")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !swapped {
+		t.Fatalf("child exited after %d results without acknowledging the swap", observed)
+	}
+	cmd.Wait()
+
+	// Rebuild the exact same base and variant pools the child used (the
+	// variant construction is deterministic) and restore through a
+	// resolver that knows both fingerprints.
+	r, err := core.New(f.pool, swapChildKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := variantPool(t, r)
+	store, err := checkpoint.Open(dir, checkpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	e, err := New(r, Config{Workers: 2, TraceLen: f.traceLen, Checkpoint: store,
+		ResolvePool: swapResolver(r, next)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := e.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info == nil {
+		t.Fatal("no checkpoint state survived the kill")
+	}
+	if e.PoolEpoch() != 1 {
+		t.Fatalf("restored pool epoch %d, want 1 (the acknowledged swap)", e.PoolEpoch())
+	}
+	if e.PoolFingerprint() != next.Fingerprint() {
+		t.Fatalf("restored fingerprint %016x, want the swapped pool's %016x",
+			e.PoolFingerprint(), next.Fingerprint())
+	}
+	st := e.Stats()
+	got := st.ProgramsProcessed + st.ProgramsFailed
+	if got < uint64(observed) {
+		t.Fatalf("restored %d verdicts, consumer had observed %d before SIGKILL", got, observed)
+	}
+	t.Logf("observed %d then swapped; restored epoch %d fingerprint %016x (%d WAL entries, torn=%v)",
+		observed, e.PoolEpoch(), e.PoolFingerprint(), info.Replayed, info.TornWAL)
+}

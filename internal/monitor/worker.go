@@ -40,7 +40,12 @@ func (wc workerCrash) String() string {
 // feature-extraction, draw, classify and vote spans off them.
 func (e *Engine) process(ctx context.Context, p *prog.Program, tr *span.Trace, wk *span.Span) (rep Report) {
 	started := time.Now()
-	rep = Report{Program: p.Name, Label: p.Label}
+	// One generation load per program: the whole verdict — scheduling,
+	// classification, breaker reporting — runs against this pool even if
+	// SwapPool publishes a newer generation mid-program. The report
+	// carries the epoch so consumers can attribute it.
+	g := e.pool.Load()
+	rep = Report{Program: p.Name, Label: p.Label, PoolEpoch: g.epoch}
 	defer func() {
 		if r := recover(); r != nil {
 			if wc, ok := r.(workerCrash); ok {
@@ -58,7 +63,7 @@ func (e *Engine) process(ctx context.Context, p *prog.Program, tr *span.Trace, w
 	// Schedule: each window is collected at the period of the detector
 	// picked for it, sampled from the renormalized live distribution
 	// (exactly DecideTrace's contract, but against the live pool).
-	src := e.rhmd.SwitchSource(p)
+	src := g.rhmd.SwitchSource(p)
 	var seq []int
 	var probes []bool
 	resolved := 0
@@ -69,7 +74,7 @@ func (e *Engine) process(ctx context.Context, p *prog.Program, tr *span.Trace, w
 	defer func() {
 		for i := resolved; i < len(seq); i++ {
 			if probes[i] {
-				e.health.cancelProbe(seq[i])
+				g.health.cancelProbe(seq[i])
 			}
 		}
 	}()
@@ -79,7 +84,7 @@ func (e *Engine) process(ctx context.Context, p *prog.Program, tr *span.Trace, w
 		// detector is handed this window half-open, and the breaker
 		// resolves the probe from the classification outcome.
 		ds := tr.StartSpan(span.StageDraw, feat)
-		idx, probe, weight := e.health.pick(src)
+		idx, probe, weight := g.health.pick(src)
 		if ds != nil {
 			ds.Detector, ds.Weight = idx, weight
 		}
@@ -98,9 +103,9 @@ func (e *Engine) process(ctx context.Context, p *prog.Program, tr *span.Trace, w
 			// Nothing live to schedule for: collect at the pool's
 			// smallest period so the stream stays window-aligned; the
 			// window itself will be counted as dropped.
-			return e.minPeriod()
+			return g.minPeriod()
 		}
-		return e.rhmd.Detectors[idx].Spec.Period
+		return g.rhmd.Detectors[idx].Spec.Period
 	}
 	ws, err := features.ExtractScheduled(p, next, e.cfg.TraceLen)
 	tr.EndSpan(feat)
@@ -122,7 +127,7 @@ func (e *Engine) process(ctx context.Context, p *prog.Program, tr *span.Trace, w
 		if cs != nil {
 			cs.Detector, cs.Window = idx, w
 		}
-		decision, degraded, ok := e.classifyWindow(ctx, p, ws, w, idx, tr, cs)
+		decision, degraded, ok := e.classifyWindow(ctx, g, p, ws, w, idx, tr, cs)
 		tr.EndSpan(cs)
 		if err := ctx.Err(); err != nil {
 			// Shutdown mid-window: the classify outcome may not have
@@ -132,7 +137,7 @@ func (e *Engine) process(ctx context.Context, p *prog.Program, tr *span.Trace, w
 			return rep
 		}
 		resolved = w + 1
-		e.health.windowDone()
+		g.health.windowDone()
 		e.progress.Add(1)
 		// Window outcomes accumulate on the report only; the registry
 		// counters are committed at verdict time (commitVerdict) so the
@@ -174,9 +179,9 @@ func (e *Engine) process(ctx context.Context, p *prog.Program, tr *span.Trace, w
 // means no detector could classify the window (it is dropped and
 // counted). degraded=true means a fallback, not the scheduled detector,
 // produced the decision.
-func (e *Engine) classifyWindow(ctx context.Context, p *prog.Program, ws *features.WindowSet, w, idx int, tr *span.Trace, cs *span.Span) (decision int, degraded, ok bool) {
+func (e *Engine) classifyWindow(ctx context.Context, g *poolGen, p *prog.Program, ws *features.WindowSet, w, idx int, tr *span.Trace, cs *span.Span) (decision int, degraded, ok bool) {
 	if idx >= 0 {
-		dec, err := e.classify(ctx, p, ws, w, idx, tr, cs)
+		dec, err := e.classify(ctx, g, p, ws, w, idx, tr, cs)
 		if err == nil {
 			return dec, false, true
 		}
@@ -194,8 +199,8 @@ func (e *Engine) classifyWindow(ctx context.Context, p *prog.Program, ws *featur
 	// observation through their own feature view. The classify span
 	// keeps the scheduled detector and its failure; the trace flags the
 	// degradation at the window level.
-	for _, fb := range e.health.liveFallbacks(idx) {
-		dec, err := e.classify(ctx, p, ws, w, fb, tr, nil)
+	for _, fb := range g.health.liveFallbacks(idx) {
+		dec, err := e.classify(ctx, g, p, ws, w, fb, tr, nil)
 		if err == nil {
 			return dec, true, true
 		}
@@ -210,8 +215,8 @@ func (e *Engine) classifyWindow(ctx context.Context, p *prog.Program, ws *featur
 // reporting the final outcome to the health board. cs, when non-nil,
 // is the window's classify span: it accumulates the attempt count, and
 // retries flag the trace for the tail sampler.
-func (e *Engine) classify(ctx context.Context, p *prog.Program, ws *features.WindowSet, w, idx int, tr *span.Trace, cs *span.Span) (int, error) {
-	d := e.rhmd.Detectors[idx]
+func (e *Engine) classify(ctx context.Context, g *poolGen, p *prog.Program, ws *features.WindowSet, w, idx int, tr *span.Trace, cs *span.Span) (int, error) {
+	d := g.rhmd.Detectors[idx]
 	vec := ws.Rows(d.Spec.Kind)[w]
 	start := time.Now()
 	var lastErr error
@@ -252,7 +257,7 @@ func (e *Engine) classify(ctx context.Context, p *prog.Program, ws *features.Win
 		}
 		dec, err := e.classifyOnce(ctx, fc, fault, d.ScoreWindow, d.Threshold, vec)
 		if err == nil {
-			e.commitTransition(idx, true, time.Since(start), e.exemplarID(tr))
+			e.commitTransition(g, idx, true, time.Since(start), e.exemplarID(tr))
 			return dec, nil
 		}
 		lastErr = err
@@ -268,7 +273,7 @@ func (e *Engine) classify(ctx context.Context, p *prog.Program, ws *features.Win
 		}
 	}
 	tr.Flag(span.ReasonErrored)
-	e.commitTransition(idx, false, time.Since(start), e.exemplarID(tr))
+	e.commitTransition(g, idx, false, time.Since(start), e.exemplarID(tr))
 	return 0, lastErr
 }
 
@@ -361,10 +366,10 @@ func (e *Engine) classifyOnce(ctx context.Context, fc FaultContext, fault Fault,
 	}
 }
 
-// minPeriod returns the pool's smallest collection period.
-func (e *Engine) minPeriod() int {
-	min := e.rhmd.Detectors[0].Spec.Period
-	for _, d := range e.rhmd.Detectors {
+// minPeriod returns the generation's smallest collection period.
+func (g *poolGen) minPeriod() int {
+	min := g.rhmd.Detectors[0].Spec.Period
+	for _, d := range g.rhmd.Detectors {
 		if d.Spec.Period < min {
 			min = d.Spec.Period
 		}

@@ -42,6 +42,7 @@ const (
 	StageVote       = "vote"       // majority aggregation over windows
 	StageWALFsync   = "wal-fsync"  // verdict WAL append + fsync
 	StageCheckpoint = "checkpoint" // root: one snapshot generation flush
+	StagePoolSwap   = "pool-swap"  // root: one detector-pool generation swap
 )
 
 // TraceID is a 16-byte trace identifier, rendered as 32 hex digits.

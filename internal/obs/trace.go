@@ -31,6 +31,12 @@ const (
 	EvCheckpointSave     = "ckpt-save"
 	EvCheckpointRestore  = "ckpt-restore"
 	EvCheckpointFallback = "ckpt-fallback"
+
+	// Pool-lifecycle events (SwapPool / driftguard): a pool generation
+	// going live, drift firing, and a canary verdict (commit/rollback).
+	EvPoolSwap = "pool-swap"
+	EvDrift    = "drift"
+	EvCanary   = "canary"
 )
 
 // Event is one structured trace record. Detector and Window are -1 when

@@ -89,6 +89,23 @@ var builtins = map[string]func(seed uint64) Spec{
 			Engine:      EngineSpec{Workers: 2, QueueDepth: 96, Shards: 3},
 		}
 	},
+	// drift-ramp is the drift-guard exercise workload: a longer, harder
+	// adversary ramp (0 → 0.9, bigger payloads) whose late-run mix is
+	// evasive enough to collapse inter-detector agreement — the input
+	// that makes internal/driftguard fire, retrain and hot-swap. The
+	// BENCH report's pool_generation/pool_swaps counters record whether
+	// the run actually swapped.
+	"drift-ramp": func(seed uint64) Spec {
+		return Spec{
+			Name:        "drift-ramp",
+			Description: "evasive fraction ramps 0 to 0.9 with heavier injection; drives the drift-guard retrain/swap loop",
+			Seed:        seed,
+			Events:      128,
+			Shape:       Shape{Kind: Steady},
+			Adversary:   Adversary{Start: 0, End: 0.9, PayloadLen: 6, MemDelta: 96},
+			Engine:      EngineSpec{Workers: 4, QueueDepth: 128},
+		}
+	},
 	// adversary-ramp ramps the evasive fraction 0 → 0.8 across the run:
 	// throughput and latency as injected variants (bigger programs,
 	// shifted features) take over the mix.

@@ -258,8 +258,8 @@ func TestLookupUnknown(t *testing.T) {
 		t.Fatal("Lookup accepted unknown scenario")
 	}
 	names := Names()
-	if len(names) != 7 {
-		t.Fatalf("expected 7 builtin scenarios, got %v", names)
+	if len(names) != 8 {
+		t.Fatalf("expected 8 builtin scenarios, got %v", names)
 	}
 	for i := 1; i < len(names); i++ {
 		if names[i-1] >= names[i] {
