@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"rhmd/internal/analysis"
+)
+
+// baselineSchema versions the baseline file format.
+const baselineSchema = "rhmd.lint-baseline/v1"
+
+// baselineEntry identifies one accepted legacy finding. Line numbers are
+// deliberately omitted: a baseline keyed on (check, file, message)
+// survives unrelated edits shifting code around, which is what keeps the
+// ratchet from crying wolf.
+type baselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+func (e baselineEntry) key() string {
+	return e.Check + "\x00" + e.File + "\x00" + e.Message
+}
+
+// baselineFile is the on-disk shape of .rhmd-lint-baseline.json.
+type baselineFile struct {
+	Schema   string          `json:"schema"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+// baseline is a loaded baseline; a nil *baseline covers nothing.
+type baseline struct {
+	keys map[string]bool
+}
+
+func (b *baseline) covers(d analysis.Diagnostic) bool {
+	if b == nil {
+		return false
+	}
+	return b.keys[baselineEntry{Check: d.Check, File: d.File, Message: d.Message}.key()]
+}
+
+// loadBaseline reads a baseline file. A missing file is a valid empty
+// baseline — the ratchet's end state is deleting the last entry, not
+// the file.
+func loadBaseline(path string) (*baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &baseline{keys: map[string]bool{}}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if bf.Schema != baselineSchema {
+		return nil, fmt.Errorf("baseline %s: schema %q, want %q", path, bf.Schema, baselineSchema)
+	}
+	b := &baseline{keys: map[string]bool{}}
+	for _, e := range bf.Findings {
+		b.keys[e.key()] = true
+	}
+	return b, nil
+}
+
+// saveBaseline writes the current findings as the new baseline,
+// deduplicated and sorted so the committed file diffs cleanly.
+func saveBaseline(path string, diags []analysis.Diagnostic) (int, error) {
+	seen := map[string]bool{}
+	bf := baselineFile{Schema: baselineSchema, Findings: []baselineEntry{}}
+	for _, d := range diags {
+		e := baselineEntry{Check: d.Check, File: d.File, Message: d.Message}
+		if seen[e.key()] {
+			continue
+		}
+		seen[e.key()] = true
+		bf.Findings = append(bf.Findings, e)
+	}
+	sort.Slice(bf.Findings, func(i, j int) bool {
+		a, b := bf.Findings[i], bf.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	return len(bf.Findings), os.WriteFile(path, append(data, '\n'), 0o644)
+}

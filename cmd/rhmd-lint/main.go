@@ -1,16 +1,28 @@
 // Command rhmd-lint runs the project-invariant analyzer suite
-// (internal/analysis) over module packages: seeded-RNG determinism in
-// experiment paths, 64-bit atomic alignment, the fsync-before-rename
-// durability protocol, mutex discipline, and checked Close/Flush/Sync
-// errors on writable files.
+// (internal/analysis) over module packages: the per-expression checks
+// (seeded-RNG determinism, 64-bit atomic alignment, fsync-before-rename
+// durability, mutex discipline, checked Close/Flush/Sync errors) and
+// the CFG/dataflow lifecycle suite (goroutine shutdown edges, pooled
+// span handoff, span Finish balance, WAL-before-publish ordering,
+// metrics naming conventions).
 //
 // Usage:
 //
-//	rhmd-lint [-checks determinism,errclose] [-json] [packages...]
+//	rhmd-lint [flags] [packages...]
 //
 // Packages default to ./... resolved against the enclosing module.
-// Exit code 0 means clean, 1 means diagnostics were reported, 2 means
-// the run itself failed (bad flags, unparseable or untypeable code).
+//
+// Exit codes (the CI contract):
+//
+//	0  clean — no findings, or every error-severity finding is baselined
+//	1  findings — unsuppressed, unbaselined findings were reported
+//	2  the run itself failed (bad flags, unparseable or untypeable code)
+//
+// With -baseline, findings recorded in the baseline file are reported
+// but do not fail the run, and warn-severity findings never fail the
+// run; without it, any finding exits 1. The baseline is a ratchet:
+// it captures the legacy findings once (-write-baseline), new code must
+// stay clean, and entries are deleted — never added — as debt is paid.
 // Deliberate exceptions are suppressed in source with
 // `//rhmd:ignore <check> <reason>` on the offending line or the line
 // above.
@@ -20,30 +32,64 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"rhmd/internal/analysis"
 )
 
+// lintSchema versions the -json envelope; consumers reject anything else.
+const lintSchema = "rhmd.lint/v1"
+
+// envelope is the -json output shape.
+type envelope struct {
+	Schema      string                `json:"schema"`
+	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+}
+
+// writeJSON encodes diagnostics in the versioned envelope. Split out of
+// main so the golden test can pin the encoding.
+func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
+	if diags == nil {
+		diags = []analysis.Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(envelope{Schema: lintSchema, Diagnostics: diags})
+}
+
 func main() {
 	checks := flag.String("checks", "all", "comma-separated checks to run (default: all)")
-	asJSON := flag.Bool("json", false, "emit diagnostics as a JSON array")
-	listChecks := flag.Bool("list", false, "list available checks and exit")
+	asJSON := flag.Bool("json", false, `emit the {"schema":"rhmd.lint/v1","diagnostics":[...]} envelope on stdout`)
+	listChecks := flag.Bool("list", false, "list available checks with severities and exit")
+	sarifOut := flag.String("sarif", "", "also write a SARIF 2.1.0 report to this file (- for stdout)")
+	baselinePath := flag.String("baseline", "", "baseline file; recorded findings and warn-severity findings do not fail the run")
+	writeBaseline := flag.Bool("write-baseline", false, "write current findings to -baseline and exit 0 (adoption step of the ratchet)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: rhmd-lint [flags] [packages...]\n\nChecks:\n")
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "usage: rhmd-lint [flags] [packages...]\n\nChecks:\n")
 		for _, a := range analysis.All() {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-15s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(out, "  %-15s %-5s  %s\n", a.Name, severityOf(a), a.Doc)
 		}
-		fmt.Fprintf(flag.CommandLine.Output(), "\nFlags:\n")
+		fmt.Fprintf(out, "\nExit codes:\n")
+		fmt.Fprintf(out, "  0  clean (no findings, or all error-severity findings baselined)\n")
+		fmt.Fprintf(out, "  1  findings were reported\n")
+		fmt.Fprintf(out, "  2  the run itself failed (bad flags, unparseable or untypeable code)\n")
+		fmt.Fprintf(out, "\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *listChecks {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-15s %-5s  %s\n", a.Name, severityOf(a), a.Doc)
 		}
 		return
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fatal(fmt.Errorf("-write-baseline requires -baseline FILE"))
 	}
 
 	analyzers, err := analysis.ByName(*checks)
@@ -69,18 +115,44 @@ func main() {
 	}
 
 	res := analysis.RunSuite(analyzers, pkgs)
-	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if res.Diagnostics == nil {
-			res.Diagnostics = []analysis.Diagnostic{}
-		}
-		if err := enc.Encode(res.Diagnostics); err != nil {
+	relativize(res.Diagnostics, loader.Root())
+
+	if *writeBaseline {
+		n, err := saveBaseline(*baselinePath, res.Diagnostics)
+		if err != nil {
 			fatal(err)
 		}
-	} else {
+		fmt.Fprintf(os.Stderr, "rhmd-lint: wrote %d finding(s) to %s\n", n, *baselinePath)
+		return
+	}
+	var base *baseline
+	if *baselinePath != "" {
+		base, err = loadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *sarifOut != "" {
+		if err := emitSARIF(*sarifOut, analyzers, res.Diagnostics); err != nil {
+			fatal(err)
+		}
+	}
+
+	switch {
+	case *asJSON:
+		if err := writeJSON(os.Stdout, res.Diagnostics); err != nil {
+			fatal(err)
+		}
+	case *sarifOut == "-":
+		// SARIF owns stdout; the human-readable listing would corrupt it.
+	default:
 		for _, d := range res.Diagnostics {
-			fmt.Println(d)
+			if base.covers(d) {
+				fmt.Printf("%s (baselined)\n", d)
+			} else {
+				fmt.Println(d)
+			}
 		}
 		if n := len(res.Diagnostics); n > 0 {
 			fmt.Fprintf(os.Stderr, "rhmd-lint: %d diagnostic(s) in %d package(s)\n", n, len(pkgs))
@@ -95,9 +167,68 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rhmd-lint: %d diagnostic(s) suppressed via //rhmd:ignore\n", suppressed)
 		}
 	}
-	if len(res.Diagnostics) > 0 {
+
+	if failing(res.Diagnostics, base) > 0 {
 		os.Exit(1)
 	}
+}
+
+// failing counts the diagnostics that gate the run. Without a baseline
+// every finding fails; with one, only error-severity findings absent
+// from the baseline do (warn-severity is informational under a
+// baseline — the warn-first half of the ratchet).
+func failing(diags []analysis.Diagnostic, base *baseline) int {
+	n := 0
+	for _, d := range diags {
+		if base != nil {
+			if d.Severity != analysis.SeverityError || base.covers(d) {
+				continue
+			}
+		}
+		n++
+	}
+	return n
+}
+
+// relativize rewrites diagnostic paths relative to the module root so
+// output, baselines and SARIF artifacts are checkout-independent.
+func relativize(diags []analysis.Diagnostic, root string) {
+	for i := range diags {
+		d := &diags[i]
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil || filepath.IsAbs(rel) || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			continue
+		}
+		d.Pos.Filename = filepath.ToSlash(rel)
+		d.File = d.Pos.Filename
+	}
+}
+
+// emitSARIF writes the SARIF report to path ("-" for stdout). The
+// explicit Close check is the suite's own errclose invariant: an
+// artifact truncated by ENOSPC must fail the run, not upload silently.
+func emitSARIF(path string, analyzers []*analysis.Analyzer, diags []analysis.Diagnostic) error {
+	if path == "-" {
+		return writeSARIF(os.Stdout, analyzers, diags)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := writeSARIF(f, analyzers, diags)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// severityOf mirrors the package's empty-means-error default.
+func severityOf(a *analysis.Analyzer) string {
+	if a.Severity == "" {
+		return analysis.SeverityError
+	}
+	return a.Severity
 }
 
 func fatal(err error) {

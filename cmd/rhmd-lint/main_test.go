@@ -1,0 +1,234 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rhmd/internal/analysis"
+)
+
+// sampleDiags is a fixed pair of findings (one error, one warn) used to
+// pin the output encodings.
+func sampleDiags() []analysis.Diagnostic {
+	d1 := analysis.Diagnostic{
+		Check:    "walorder",
+		Severity: "error",
+		File:     "internal/monitor/swap.go",
+		Line:     131,
+		Col:      2,
+		Message:  "atomic publish may run before the WAL append on some path; append to the checkpoint store first",
+		Package:  "rhmd/internal/monitor",
+	}
+	d2 := analysis.Diagnostic{
+		Check:    "goroutineleak",
+		Severity: "warn",
+		File:     "internal/driftguard/driftguard.go",
+		Line:     210,
+		Col:      2,
+		Message:  "goroutine has no shutdown edge (ctx/done channel/WaitGroup) and calls through the function-typed field Retrain",
+		Package:  "rhmd/internal/driftguard",
+	}
+	return []analysis.Diagnostic{d1, d2}
+}
+
+// TestJSONEnvelopeGolden pins the rhmd.lint/v1 envelope byte-for-byte.
+// Any change here is a breaking change for -json consumers and needs a
+// schema bump.
+func TestJSONEnvelopeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "schema": "rhmd.lint/v1",
+  "diagnostics": [
+    {
+      "check": "walorder",
+      "severity": "error",
+      "file": "internal/monitor/swap.go",
+      "line": 131,
+      "col": 2,
+      "message": "atomic publish may run before the WAL append on some path; append to the checkpoint store first",
+      "package": "rhmd/internal/monitor"
+    },
+    {
+      "check": "goroutineleak",
+      "severity": "warn",
+      "file": "internal/driftguard/driftguard.go",
+      "line": 210,
+      "col": 2,
+      "message": "goroutine has no shutdown edge (ctx/done channel/WaitGroup) and calls through the function-typed field Retrain",
+      "package": "rhmd/internal/driftguard"
+    }
+  ]
+}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("envelope encoding changed:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestJSONEnvelopeEmpty pins that a clean run emits an empty array, not
+// null — consumers iterate .diagnostics unconditionally.
+func TestJSONEnvelopeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "schema": "rhmd.lint/v1",
+  "diagnostics": []
+}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("empty envelope = %q, want %q", got, want)
+	}
+}
+
+// TestSARIFGolden pins the SARIF 2.1.0 encoding for one rule and one
+// result: version, rule metadata with default level, result level
+// derived from severity, and SRCROOT-based module-relative URIs.
+func TestSARIFGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := writeSARIF(&buf, []*analysis.Analyzer{analysis.WALOrder}, sampleDiags()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+  "version": "2.1.0",
+  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "rhmd-lint",
+          "rules": [
+            {
+              "id": "walorder",
+              "shortDescription": {
+                "text": ` + "`" + `` + "`" + `
+              },
+              "defaultConfiguration": {
+                "level": "error"
+              }
+            }
+          ]
+        }
+      },
+      "results": [
+        {
+          "ruleId": "walorder",
+          "level": "error",
+          "message": {
+            "text": "atomic publish may run before the WAL append on some path; append to the checkpoint store first"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "internal/monitor/swap.go",
+                  "uriBaseId": "SRCROOT"
+                },
+                "region": {
+                  "startLine": 131,
+                  "startColumn": 2
+                }
+              }
+            }
+          ]
+        }
+      ]
+    }
+  ]
+}
+`
+	// The rule doc is maintained prose, not a wire contract; splice the
+	// live value into the golden rather than pinning it.
+	doc, err := json.Marshal(analysis.WALOrder.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = strings.Replace(want, "``", string(doc), 1)
+	if got := buf.String(); got != want {
+		t.Errorf("SARIF encoding changed:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestSARIFLevels pins the severity → SARIF level mapping.
+func TestSARIFLevels(t *testing.T) {
+	if got := sarifLevel(analysis.SeverityWarn); got != "warning" {
+		t.Errorf("warn maps to %q, want warning", got)
+	}
+	if got := sarifLevel(analysis.SeverityError); got != "error" {
+		t.Errorf("error maps to %q, want error", got)
+	}
+	if got := sarifLevel(""); got != "error" {
+		t.Errorf("empty severity maps to %q, want error", got)
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline from findings, reloads it,
+// and checks coverage plus the failing() gate semantics.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := sampleDiags()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	n, err := saveBaseline(path, diags[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("saved %d findings, want 1", n)
+	}
+	base, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.covers(diags[0]) {
+		t.Error("baseline does not cover the finding it was written from")
+	}
+	if base.covers(diags[1]) {
+		t.Error("baseline covers a finding it never recorded")
+	}
+
+	// Gate semantics: without a baseline both findings fail; with one,
+	// the baselined error is excused and the warn is informational.
+	if got := failing(diags, nil); got != 2 {
+		t.Errorf("failing(no baseline) = %d, want 2", got)
+	}
+	if got := failing(diags, base); got != 0 {
+		t.Errorf("failing(baselined error + warn) = %d, want 0", got)
+	}
+	// A fresh error-severity finding still fails under a baseline.
+	fresh := diags[0]
+	fresh.Message = "a brand new violation"
+	if got := failing([]analysis.Diagnostic{fresh}, base); got != 1 {
+		t.Errorf("failing(unbaselined error) = %d, want 1", got)
+	}
+}
+
+// TestBaselineMissingFileIsEmpty pins that a deleted baseline file is a
+// valid empty baseline — the ratchet's end state.
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	base, err := loadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.covers(sampleDiags()[0]) {
+		t.Error("empty baseline covers a finding")
+	}
+}
+
+// TestBaselineRejectsWrongSchema pins the schema check.
+func TestBaselineRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"rhmd.lint-baseline/v9","findings":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("loadBaseline accepted schema v9: %v", err)
+	}
+}

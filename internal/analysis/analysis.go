@@ -24,8 +24,20 @@ import (
 	"go/token"
 	"go/types"
 	"path"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Severity ranks a finding: errors gate CI, warnings inform. New
+// heuristic analyzers land at SeverityWarn first and ratchet to
+// SeverityError once the codebase is clean (see the baseline support
+// in cmd/rhmd-lint).
+const (
+	SeverityError = "error"
+	SeverityWarn  = "warn"
 )
 
 // Analyzer is one named invariant check.
@@ -35,8 +47,18 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description shown by rhmd-lint -help.
 	Doc string
+	// Severity is SeverityError or SeverityWarn; empty means error.
+	Severity string
 	// Run inspects one package and reports findings through the Pass.
 	Run func(*Pass)
+}
+
+// severity returns the analyzer's effective severity.
+func (a *Analyzer) severity() string {
+	if a.Severity == "" {
+		return SeverityError
+	}
+	return a.Severity
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -54,6 +76,7 @@ type Pass struct {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Check:    p.Analyzer.Name,
+		Severity: p.Analyzer.severity(),
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 		Package:  p.Pkg.Path(),
@@ -69,6 +92,7 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 // Diagnostic is one finding with its source position.
 type Diagnostic struct {
 	Check    string         `json:"check"`
+	Severity string         `json:"severity"`
 	Pos      token.Position `json:"-"`
 	File     string         `json:"file"`
 	Line     int            `json:"line"`
@@ -83,9 +107,13 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
 }
 
-// All returns every analyzer in the suite, in report order.
+// All returns every analyzer in the suite, in report order: the PR 4
+// per-expression checks first, then the CFG/dataflow lifecycle suite.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, AtomicAlign, FsyncRename, LockDiscipline, ErrClose}
+	return []*Analyzer{
+		Determinism, AtomicAlign, FsyncRename, LockDiscipline, ErrClose,
+		GoroutineLeak, PoolHandoff, SpanBalance, WALOrder, MetricsConv,
+	}
 }
 
 // ByName resolves a comma-separated -checks list ("" or "all" = every
@@ -135,6 +163,22 @@ var Scopes = map[string][]string{
 	// contract; persistence helpers in hmd/core and the monitor's
 	// checkpoint path route through it.
 	"fsyncrename": {"internal/checkpoint", "internal/hmd", "internal/core", "internal/monitor"},
+	// Goroutine lifecycle matters where the serving stack launches
+	// long-lived workers: the monitor engine, the fleet, the drift
+	// guard's background retrains, obs HTTP serving, the benchrunner's
+	// load generators, and the operational cmd binaries.
+	"goroutineleak": {"internal/monitor", "internal/fleet", "internal/driftguard", "internal/obs", "internal/benchrunner", "cmd"},
+	// Pool/span ownership handoff is the PR 5 race class: the packages
+	// that pass pooled spans between goroutines. internal/obs/span
+	// itself implements the recycler, so it is deliberately outside
+	// the scope — the check is for users of the pool, not its owner.
+	"poolhandoff": {"internal/monitor", "internal/fleet", "internal/driftguard", "internal/benchrunner"},
+	// Span balance applies to the packages that open verdict traces.
+	"spanbalance": {"internal/monitor", "internal/fleet", "internal/driftguard", "internal/benchrunner"},
+	// The WAL-before-publish protocol is the PR 8 swap invariant; it
+	// lives in the monitor's swap/verdict paths, the fleet's per-shard
+	// catch-up, and the checkpoint store itself.
+	"walorder": {"internal/monitor", "internal/fleet", "internal/checkpoint"},
 }
 
 // scopeAllows reports whether analyzer a runs on package path pkgPath
@@ -159,40 +203,87 @@ type Result struct {
 	Diagnostics []Diagnostic
 	// Suppressed counts findings silenced by //rhmd:ignore, per check.
 	Suppressed map[string]int
+	// UnusedIgnores lists //rhmd:ignore comments that silenced nothing
+	// in this run — stale suppressions the audit wants deleted. Only
+	// meaningful when the run included every analyzer.
+	UnusedIgnores []IgnoreComment
 }
 
 // RunSuite runs the analyzers over the packages, applies //rhmd:ignore
 // suppressions, and returns position-sorted unsuppressed diagnostics.
+// Packages are analyzed in parallel: loading is single-threaded and
+// already done, and after it every Pass input is read-only.
 func RunSuite(analyzers []*Analyzer, pkgs []*Package) Result {
 	res := Result{Suppressed: map[string]int{}}
-	for _, pkg := range pkgs {
-		var raw []Diagnostic
-		for _, a := range analyzers {
-			if !scopeAllows(a, pkg.Module, pkg.Path) {
-				continue
-			}
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				diags:    &raw,
-			}
-			a.Run(pass)
-		}
-		sup := suppressionsOf(pkg)
-		for _, d := range raw {
-			if sup.covers(d) {
-				res.Suppressed[d.Check]++
-				continue
-			}
-			d.File = d.Pos.Filename
-			d.Line = d.Pos.Line
-			d.Col = d.Pos.Column
-			res.Diagnostics = append(res.Diagnostics, d)
-		}
+	type pkgOut struct {
+		diags  []Diagnostic
+		unused []IgnoreComment
 	}
+	outs := make([]pkgOut, len(pkgs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards res.Suppressed
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pkgs) {
+					return
+				}
+				pkg := pkgs[i]
+				var raw []Diagnostic
+				for _, a := range analyzers {
+					if !scopeAllows(a, pkg.Module, pkg.Path) {
+						continue
+					}
+					pass := &Pass{
+						Analyzer: a,
+						Fset:     pkg.Fset,
+						Files:    pkg.Files,
+						Pkg:      pkg.Types,
+						Info:     pkg.Info,
+						diags:    &raw,
+					}
+					a.Run(pass)
+				}
+				sup := suppressionsOf(pkg)
+				for _, d := range raw {
+					if sup.covers(d) {
+						mu.Lock()
+						res.Suppressed[d.Check]++
+						mu.Unlock()
+						continue
+					}
+					d.File = d.Pos.Filename
+					d.Line = d.Pos.Line
+					d.Col = d.Pos.Column
+					outs[i].diags = append(outs[i].diags, d)
+				}
+				outs[i].unused = sup.unused()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, o := range outs {
+		res.Diagnostics = append(res.Diagnostics, o.diags...)
+		res.UnusedIgnores = append(res.UnusedIgnores, o.unused...)
+	}
+	sort.Slice(res.UnusedIgnores, func(i, j int) bool {
+		a, b := res.UnusedIgnores[i], res.UnusedIgnores[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
 	sort.Slice(res.Diagnostics, func(i, j int) bool {
 		a, b := res.Diagnostics[i], res.Diagnostics[j]
 		if a.Pos.Filename != b.Pos.Filename {

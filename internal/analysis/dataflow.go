@@ -1,0 +1,119 @@
+package analysis
+
+// dataflow.go — a forward dataflow solver over the CFG. Facts are
+// "reaching state sets": for each tracked key (usually a types.Object,
+// sometimes a printed expression), a bitmask of the abstract states
+// the value may be in on SOME path reaching the program point. Join is
+// bitwise OR — path union — which makes every may-question ("can this
+// span already be recycled here?") a mask test and every must-question
+// ("is the WAL always appended before this store?") a test for the
+// absence of the bad state.
+//
+// Transfer functions must be join-morphisms to keep the fixpoint
+// sound: implement them as a per-state transition lifted over the mask
+// (out = union of transition(s) for every state bit s in the input),
+// never as a test-and-branch on the whole mask.
+
+import (
+	"go/ast"
+)
+
+// Facts maps tracked keys to a bitmask of possible abstract states.
+// A missing key means "never seen" — analyzers pick what that defaults
+// to at read time.
+type Facts map[any]uint8
+
+func (f Facts) clone() Facts {
+	c := make(Facts, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}
+
+// merge ORs src into f, reporting whether anything changed.
+func (f Facts) merge(src Facts) bool {
+	changed := false
+	for k, v := range src {
+		if f[k]|v != f[k] {
+			f[k] |= v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Flow is one forward dataflow problem.
+type Flow struct {
+	// Entry seeds the facts at the CFG entry block. Keys that must
+	// distinguish "not yet" from "never tracked" need explicit seeding,
+	// because the OR-join cannot resurrect a key absent from one path.
+	Entry Facts
+	// Transfer applies one block node (statement or branch condition)
+	// to the facts, mutating them in place. Nodes arrive in execution
+	// order within each block.
+	Transfer func(n ast.Node, f Facts)
+	// Edge, when non-nil, refines facts flowing along a CFG edge —
+	// branch edges carry their condition and taken-ness, which is how
+	// `if store != nil` teaches the false path that the WAL is absent.
+	Edge func(e Edge, f Facts)
+}
+
+// Forward solves the problem to fixpoint and returns the facts at each
+// reachable block's ENTRY (c.Exit's entry facts are the function's
+// all-paths exit state). Worklist iteration in reverse postorder;
+// termination follows from the finite lattice and monotone transfers.
+func (fl *Flow) Forward(c *CFG) map[*Block]Facts {
+	rpo := c.reachable()
+	in := make(map[*Block]Facts, len(rpo))
+	for _, b := range rpo {
+		in[b] = Facts{}
+	}
+	in[c.Entry].merge(fl.Entry)
+	inWork := make([]bool, len(c.Blocks))
+	work := make([]*Block, len(rpo))
+	copy(work, rpo)
+	for _, b := range rpo {
+		inWork[b.Index] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+
+		out := in[b].clone()
+		for _, n := range b.Nodes {
+			fl.Transfer(n, out)
+		}
+		for _, e := range b.Succs {
+			next := out
+			if fl.Edge != nil {
+				next = out.clone()
+				fl.Edge(e, next)
+			}
+			dst, ok := in[e.To]
+			if !ok {
+				continue // unreachable successor bookkeeping; cannot happen from rpo
+			}
+			if dst.merge(next) && !inWork[e.To.Index] {
+				work = append(work, e.To)
+				inWork[e.To.Index] = true
+			}
+		}
+	}
+	return in
+}
+
+// Visit replays the solved facts through every reachable block,
+// calling visit with the facts holding immediately BEFORE each node
+// executes. This is how analyzers turn the fixpoint into diagnostics
+// at precise positions.
+func (fl *Flow) Visit(c *CFG, in map[*Block]Facts, visit func(n ast.Node, f Facts)) {
+	for _, b := range c.reachable() {
+		f := in[b].clone()
+		for _, n := range b.Nodes {
+			visit(n, f)
+			fl.Transfer(n, f)
+		}
+	}
+}

@@ -101,6 +101,34 @@ func TestErrCloseFixture(t *testing.T) {
 	runFixture(t, ErrClose, "errclose", "fix/errclose")
 }
 
+// The lifecycle-analyzer fixtures load under engine-shaped import
+// paths so the scope table routes each analyzer onto them, exactly as
+// it does for the real packages.
+
+func TestGoroutineLeakFixture(t *testing.T) {
+	runFixture(t, GoroutineLeak, "goroutineleak", "fix/internal/monitor/goroutineleak")
+}
+
+// TestPoolHandoffFixture includes the PR 5 span-after-send race with
+// exact position assertions.
+func TestPoolHandoffFixture(t *testing.T) {
+	runFixture(t, PoolHandoff, "poolhandoff", "fix/internal/monitor/poolhandoff")
+}
+
+func TestSpanBalanceFixture(t *testing.T) {
+	runFixture(t, SpanBalance, "spanbalance", "fix/internal/monitor/spanbalance")
+}
+
+// TestWALOrderFixture includes the PR 8 publish-before-WAL shape with
+// exact position assertions.
+func TestWALOrderFixture(t *testing.T) {
+	runFixture(t, WALOrder, "walorder", "fix/internal/monitor/walorder")
+}
+
+func TestMetricsConvFixture(t *testing.T) {
+	runFixture(t, MetricsConv, "metricsconv", "fix/metricsconv")
+}
+
 // TestSuppressFixture proves //rhmd:ignore silences exactly the named
 // check on the covered lines and nothing else.
 func TestSuppressFixture(t *testing.T) {

@@ -1,0 +1,185 @@
+package analysis
+
+// goroutineleak checks that every goroutine launched in engine code
+// has a shutdown story. The serving stack is long-lived — the drift
+// guard keeps the evade/retrain loop running indefinitely — so a
+// goroutine with no cancellation edge is a slow leak: it outlives
+// Close, holds its captures, and keeps running work nobody collects.
+//
+// A goroutine passes if it is CANCELLABLE — its body (or the body of
+// the same-package function it calls) can observe shutdown via a
+// context.Context, a channel receive (done channels, range-over-
+// channel, select receives), or a WaitGroup.Wait — or provably
+// BOUNDED: no unconditional `for {}` loop, no calls through function
+// values or interface methods (whose behavior the analyzer cannot
+// see), and no known-blocking stdlib calls such as http.Server.Serve
+// or net.Listener.Accept. Passing a context argument at the go site
+// counts: the callee received the means to stop.
+//
+// This is a heuristic over intraprocedural evidence, so it ships at
+// warn severity; deliberate fire-and-forget goroutines carry a
+// reasoned //rhmd:ignore.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLeak is the goroutine lifecycle analyzer.
+var GoroutineLeak = &Analyzer{
+	Name:     "goroutineleak",
+	Doc:      "goroutines in engine code need a shutdown edge (ctx/done channel/WaitGroup) or a provably bounded body",
+	Severity: SeverityWarn,
+	Run:      runGoroutineLeak,
+}
+
+func runGoroutineLeak(pass *Pass) {
+	// Same-package function bodies, so `go e.retrain(x)` is judged by
+	// what retrain actually does.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				checkGoStmt(pass, decls, gs)
+			}
+			return true
+		})
+	}
+}
+
+func checkGoStmt(pass *Pass, decls map[types.Object]*ast.FuncDecl, gs *ast.GoStmt) {
+	// A context handed to the callee is the shutdown edge.
+	for _, a := range gs.Call.Args {
+		if isContext(pass.TypeOf(a)) {
+			return
+		}
+	}
+	var body *ast.BlockStmt
+	switch fun := gs.Call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	case *ast.Ident:
+		if fd := decls[objOf(pass.Info, fun)]; fd != nil {
+			body = fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd := decls[objOf(pass.Info, fun.Sel)]; fd != nil {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		pass.Reportf(gs.Pos(), "goroutine has no context argument and its callee body is outside this package; lifecycle cannot be verified")
+		return
+	}
+	if hasShutdownEdge(pass, body) {
+		return
+	}
+	if reason := unboundedReason(pass, body); reason != "" {
+		pass.Reportf(gs.Pos(), "goroutine has no shutdown edge (ctx/done channel/WaitGroup) and %s", reason)
+	}
+}
+
+// hasShutdownEdge scans the goroutine body for a way to observe
+// shutdown: a context value, a channel receive (unary <-, range over a
+// channel), or WaitGroup.Wait.
+func hasShutdownEdge(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if isContext(pass.TypeOf(n)) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := types.Unalias(t).Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if recv, name, ok := methodCall(n); ok && name == "Wait" {
+				if typeFromPkg(pass.TypeOf(recv), "sync", "WaitGroup") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// unboundedReason returns a human explanation of why the body might
+// run forever, or "" if it looks bounded.
+func unboundedReason(pass *Pass, body *ast.BlockStmt) string {
+	reason := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				reason = "runs an unconditional for loop"
+			}
+		case *ast.CallExpr:
+			reason = blockingOrDynamic(pass, n)
+		}
+		return reason == ""
+	})
+	return reason
+}
+
+// blockingOrDynamic classifies a call as known-blocking (stdlib serve/
+// accept loops), or dynamic (function value or interface method — the
+// analyzer cannot see whether it terminates), or "" for static calls.
+func blockingOrDynamic(pass *Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if v, ok := objOf(pass.Info, fun).(*types.Var); ok && v != nil {
+			return "calls through the function value " + fun.Name
+		}
+	case *ast.SelectorExpr:
+		recv, name := fun.X, fun.Sel.Name
+		switch name {
+		case "Serve", "ListenAndServe", "ListenAndServeTLS":
+			if typeFromPkg(pass.TypeOf(recv), "net/http", "Server") {
+				return "blocks in http.Server." + name
+			}
+		case "Accept":
+			if n := namedOf(pass.TypeOf(recv)); n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "net" {
+				return "blocks in a net Accept loop"
+			}
+		}
+		switch obj := objOf(pass.Info, fun.Sel).(type) {
+		case *types.Var:
+			return "calls through the function-typed field " + name
+		case *types.Func:
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if types.IsInterface(sig.Recv().Type()) {
+					return "calls the interface method " + name
+				}
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,144 @@
+package analysis
+
+// lifecycle.go — shared helpers for the CFG/dataflow analyzers
+// (goroutineleak, poolhandoff, spanbalance, walorder). They resolve
+// receivers and callees through go/types but match type NAMES rather
+// than hard-coded import paths, so the analyzers work identically on
+// the real engine packages and on the stdlib-only fixture packages
+// under testdata/src.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// shallowWalk visits n and its children but does not descend into
+// function literals: a FuncLit body has its own control flow and its
+// own CFG, so facts about the enclosing function must not leak in.
+func shallowWalk(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok && c != n {
+			return false
+		}
+		return visit(c)
+	})
+}
+
+// methodCall decomposes a call of the form recv.Name(args). It returns
+// ok=false for plain function calls and conversions.
+func methodCall(call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// namedOf unwraps pointers and aliases down to the defining named
+// type, or nil if t has none (builtin, struct literal, func, ...).
+// Generic instantiations resolve to their origin (atomic.Pointer[T]
+// -> atomic.Pointer).
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if o := n.Origin(); o != nil {
+		n = o
+	}
+	return n
+}
+
+// typeNamed reports whether t (possibly behind a pointer) is a named
+// type with the given name, in any package.
+func typeNamed(t types.Type, name string) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj().Name() == name
+}
+
+// typeFromPkg reports whether t (possibly behind a pointer) is a named
+// type declared in the package with the given import path.
+func typeFromPkg(t types.Type, pkgPath, name string) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Name() != name {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == pkgPath
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	return typeFromPkg(t, "context", "Context")
+}
+
+// objOf resolves an identifier to its types.Object via Uses then Defs.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// mentionsObj reports whether the shallow subtree of n (not crossing
+// into function literals) uses the object.
+func mentionsObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	shallowWalk(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && objOf(info, id) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// funcBodies yields every function body in the file alongside its
+// declaring node: FuncDecls first, then every FuncLit not nested in
+// another yielded body is reached through shallow traversal of the
+// declarations — so each body is analyzed exactly once, as its own
+// CFG.
+func funcBodies(file *ast.File, visit func(body *ast.BlockStmt, decl ast.Node)) {
+	var fromBody func(b *ast.BlockStmt)
+	fromBody = func(b *ast.BlockStmt) {
+		var lits []*ast.FuncLit
+		shallowWalkBody(b, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				lits = append(lits, fl)
+				return false
+			}
+			return true
+		})
+		for _, fl := range lits {
+			visit(fl.Body, fl)
+			fromBody(fl.Body)
+		}
+	}
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd.Body, fd)
+		fromBody(fd.Body)
+	}
+}
+
+// shallowWalkBody is shallowWalk over a block's statements, without
+// treating the block itself as a FuncLit boundary.
+func shallowWalkBody(b *ast.BlockStmt, visit func(ast.Node) bool) {
+	for _, s := range b.List {
+		shallowWalk(s, visit)
+	}
+}

@@ -67,6 +67,11 @@ func NewLoader(dir string) (*Loader, error) {
 // Module returns the module path the loader is rooted at.
 func (l *Loader) Module() string { return l.module }
 
+// Root returns the module root directory (the one holding go.mod).
+// rhmd-lint relativizes diagnostic paths against it so baselines and
+// SARIF artifacts are stable across checkouts.
+func (l *Loader) Root() string { return l.root }
+
 // findModule walks up from dir to the enclosing go.mod and returns the
 // root directory and module path.
 func findModule(dir string) (root, module string, err error) {

@@ -1,0 +1,90 @@
+package analysis
+
+// metricsconv enforces the obs metric naming conventions that were
+// previously review-only: every metric registered through a Registry
+// carries a non-empty help string, every name starts with the rhmd_
+// namespace prefix, and counters end in _total (the OpenMetrics
+// convention the exposition endpoints assume). A misnamed metric is
+// invisible to every dashboard query written against the convention,
+// which is exactly the kind of silent drift a linter should catch.
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// MetricsConv is the metric-naming analyzer.
+var MetricsConv = &Analyzer{
+	Name:     "metricsconv",
+	Doc:      "obs metrics need non-empty help, the rhmd_ prefix, and _total on counters",
+	Severity: SeverityError,
+	Run:      runMetricsConv,
+}
+
+// registryMethods maps registration method names to whether they
+// create counters (which must end in _total).
+var registryMethods = map[string]bool{
+	"Counter":      true,
+	"CounterVec":   true,
+	"Gauge":        false,
+	"GaugeVec":     false,
+	"Histogram":    false,
+	"HistogramVec": false,
+}
+
+func runMetricsConv(pass *Pass) {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue // test registries name metrics for assertion convenience
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, method, ok := methodCall(call)
+			if !ok {
+				return true
+			}
+			isCounter, isReg := registryMethods[method]
+			if !isReg || len(call.Args) < 2 {
+				return true
+			}
+			if !typeNamed(pass.TypeOf(recv), "Registry") {
+				return true
+			}
+			if name, ok := stringLit(call.Args[0]); ok {
+				if !strings.HasPrefix(name, "rhmd_") {
+					pass.Reportf(call.Args[0].Pos(), "metric %q lacks the rhmd_ namespace prefix", name)
+				}
+				if isCounter && !strings.HasSuffix(name, "_total") {
+					pass.Reportf(call.Args[0].Pos(), "counter %q must end in _total", name)
+				}
+			}
+			if help, ok := stringLit(call.Args[1]); ok && strings.TrimSpace(help) == "" {
+				pass.Reportf(call.Args[1].Pos(), "metric registered with empty help text")
+			}
+			return true
+		})
+	}
+}
+
+// stringLit evaluates e if it is a string literal or a concatenation
+// of string literals (help strings commonly wrap across lines with +).
+func stringLit(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		s, err := strconv.Unquote(e.Value)
+		return s, err == nil
+	case *ast.BinaryExpr:
+		l, lok := stringLit(e.X)
+		r, rok := stringLit(e.Y)
+		if lok && rok {
+			return l + r, true
+		}
+	case *ast.ParenExpr:
+		return stringLit(e.X)
+	}
+	return "", false
+}

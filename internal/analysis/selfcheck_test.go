@@ -60,4 +60,36 @@ func TestSelfCheck(t *testing.T) {
 	if total == 0 {
 		t.Error("no suppressed diagnostics anywhere: //rhmd:ignore comments are not being honored")
 	}
+
+	// Suppression audit: every //rhmd:ignore in the module must name
+	// only registered checks and carry a non-empty reason — an excuse
+	// without a rationale is indistinguishable from a muted bug.
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, pkg := range pkgs {
+		for _, ic := range IgnoreComments(pkg) {
+			for _, c := range ic.Checks {
+				if c == "all" {
+					t.Errorf("%s:%d: //rhmd:ignore suppresses every check; name the specific one", ic.File, ic.Line)
+					continue
+				}
+				if !known[c] {
+					t.Errorf("%s:%d: //rhmd:ignore names unknown check %q", ic.File, ic.Line, c)
+				}
+			}
+			if strings.TrimSpace(ic.Reason) == "" {
+				t.Errorf("%s:%d: //rhmd:ignore has no reason", ic.File, ic.Line)
+			}
+		}
+	}
+
+	// Stale-suppression audit: a comment that silences nothing is debt —
+	// either the code was fixed (delete the comment) or the analyzer
+	// regressed (this test is the tripwire).
+	for _, ic := range res.UnusedIgnores {
+		t.Errorf("%s:%d: //rhmd:ignore %s suppresses nothing; delete it",
+			ic.File, ic.Line, strings.Join(ic.Checks, ","))
+	}
 }

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"strings"
+	"sync"
 )
 
 // Suppression comments let deliberate exceptions live next to the code
@@ -19,16 +20,30 @@ import (
 // would silently swallow future regressions.
 const ignorePrefix = "rhmd:ignore"
 
+// IgnoreComment is one //rhmd:ignore comment, parsed. The suppression
+// audit (selfcheck_test.go) uses these to assert that every comment in
+// the module names registered checks, carries a reason, and still
+// silences at least one finding.
+type IgnoreComment struct {
+	File   string
+	Line   int
+	Checks []string // "all" if the comment names no checks
+	Reason string   // free-form text after the check list
+	used   bool
+}
+
 // suppression records which checks are silenced at which lines of a file.
 type suppression struct {
-	// byFile maps filename -> comment line -> suppressed check names
-	// (the literal string "all" suppresses everything).
-	byFile map[string]map[int][]string
+	mu sync.Mutex
+	// byFile maps filename -> comment line -> parsed comments at that
+	// line (the literal check name "all" suppresses everything).
+	byFile map[string]map[int][]*IgnoreComment
+	all    []*IgnoreComment
 }
 
 // suppressionsOf scans every comment in the package once.
 func suppressionsOf(pkg *Package) *suppression {
-	s := &suppression{byFile: map[string]map[int][]string{}}
+	s := &suppression{byFile: map[string]map[int][]*IgnoreComment{}}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -41,53 +56,82 @@ func suppressionsOf(pkg *Package) *suppression {
 				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
 					continue // e.g. rhmd:ignoreXYZ
 				}
-				checks := parseIgnoreList(rest)
+				checks, reason := parseIgnore(rest)
 				pos := pkg.Fset.Position(c.Pos())
+				ic := &IgnoreComment{File: pos.Filename, Line: pos.Line, Checks: checks, Reason: reason}
 				lines := s.byFile[pos.Filename]
 				if lines == nil {
-					lines = map[int][]string{}
+					lines = map[int][]*IgnoreComment{}
 					s.byFile[pos.Filename] = lines
 				}
-				lines[pos.Line] = append(lines[pos.Line], checks...)
+				lines[pos.Line] = append(lines[pos.Line], ic)
+				s.all = append(s.all, ic)
 			}
 		}
 	}
 	return s
 }
 
-// parseIgnoreList extracts the check-name list from the text after the
-// marker: the first whitespace-separated field is a comma-separated
-// check list; everything after it is free-form rationale.
-func parseIgnoreList(rest string) []string {
-	fields := strings.Fields(rest)
-	if len(fields) == 0 {
-		return []string{"all"}
+// IgnoreComments parses every //rhmd:ignore comment in the package.
+func IgnoreComments(pkg *Package) []IgnoreComment {
+	var out []IgnoreComment
+	for _, ic := range suppressionsOf(pkg).all {
+		out = append(out, *ic)
 	}
-	var checks []string
-	for _, c := range strings.Split(fields[0], ",") {
+	return out
+}
+
+// parseIgnore splits the text after the marker: the first
+// whitespace-separated field is a comma-separated check list;
+// everything after it is free-form rationale.
+func parseIgnore(rest string) (checks []string, reason string) {
+	rest = strings.TrimSpace(rest)
+	list := rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		list, reason = rest[:i], strings.TrimSpace(rest[i:])
+	}
+	for _, c := range strings.Split(list, ",") {
 		if c = strings.TrimSpace(c); c != "" {
 			checks = append(checks, c)
 		}
 	}
 	if len(checks) == 0 {
-		return []string{"all"}
+		return []string{"all"}, reason
 	}
-	return checks
+	return checks, reason
 }
 
 // covers reports whether d is silenced by a comment on its line or the
-// line above.
+// line above, marking the matching comment as used.
 func (s *suppression) covers(d Diagnostic) bool {
 	lines, ok := s.byFile[d.Pos.Filename]
 	if !ok {
 		return false
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
-		for _, c := range lines[line] {
-			if c == "all" || c == d.Check {
-				return true
+		for _, ic := range lines[line] {
+			for _, c := range ic.Checks {
+				if c == "all" || c == d.Check {
+					ic.used = true
+					return true
+				}
 			}
 		}
 	}
 	return false
+}
+
+// unused returns the comments that silenced nothing in this run.
+func (s *suppression) unused() []IgnoreComment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []IgnoreComment
+	for _, ic := range s.all {
+		if !ic.used {
+			out = append(out, *ic)
+		}
+	}
+	return out
 }

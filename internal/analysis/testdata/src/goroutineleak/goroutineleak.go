@@ -1,0 +1,141 @@
+// Package goroutineleak is a fixture for the goroutineleak analyzer:
+// goroutines in engine code need a shutdown edge (context, done
+// channel, WaitGroup) or a provably bounded body.
+package goroutineleak
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+)
+
+type engine struct {
+	done  chan struct{}
+	wg    sync.WaitGroup
+	score func([]float64) float64
+}
+
+// spinLoop never observes shutdown and never terminates.
+func spinLoop() {
+	go func() { // want "unconditional for loop"
+		for {
+		}
+	}()
+}
+
+// dynamicCall invokes a function value the analyzer cannot see into.
+func dynamicCall(work func()) {
+	go func() { // want "function value work"
+		work()
+	}()
+}
+
+// fieldCall invokes a function-typed field — the driftguard retrain
+// shape before it grew a context.
+type guard struct {
+	retrainFn func() error
+}
+
+func (g *guard) retrain() {
+	_ = g.retrainFn()
+}
+
+func (g *guard) fire() {
+	go g.retrain() // want "function-typed field retrainFn"
+}
+
+// viaInterface calls an interface method; termination is the
+// implementation's secret.
+type swapper interface{ Swap() error }
+
+func viaInterface(s swapper) {
+	go func() { // want "interface method Swap"
+		_ = s.Swap()
+	}()
+}
+
+// serveBlocks parks in http.Server.Serve forever.
+func serveBlocks(srv *http.Server, ln net.Listener) {
+	go func() { // want "blocks in http.Server.Serve"
+		_ = srv.Serve(ln)
+	}()
+}
+
+// acceptBlocks parks in a net Accept loop.
+func acceptBlocks(ln *net.TCPListener) {
+	go func() { // want "blocks in a net Accept loop"
+		_, _ = ln.Accept()
+	}()
+}
+
+// foreignCallee launches a function whose body lives in another
+// package, with no context to cancel it.
+func foreignCallee() {
+	go http.ListenAndServe(":0", nil) // want "callee body is outside this package"
+}
+
+// --- passing shapes ---
+
+// ctxArg hands the callee a context at the go site; spin honors it.
+func spin(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+func ctxArg(ctx context.Context) {
+	go spin(ctx)
+}
+
+// doneChannel observes shutdown through a receive.
+func (e *engine) doneChannel() {
+	go func() {
+		<-e.done
+	}()
+}
+
+// selectReceive loops forever but each iteration can observe the done
+// channel.
+func (e *engine) selectReceive(ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-e.done:
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// rangeChannel drains until the producer closes the channel.
+func rangeChannel(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// waitGroup blocks on collective completion — the engine drain shape.
+func (e *engine) waitGroup() {
+	go func() {
+		e.wg.Wait()
+		close(e.done)
+	}()
+}
+
+// bounded runs a finite loop of static calls and exits on its own.
+func step(i int) {}
+
+func bounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			step(i)
+		}
+	}()
+}

@@ -1,0 +1,37 @@
+// Package metricsconv is a fixture for the metricsconv analyzer: obs
+// metrics need the rhmd_ namespace prefix, non-empty help text, and
+// the _total suffix on counters.
+package metricsconv
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) *Counter                        { return nil }
+func (r *Registry) Gauge(name, help string) *Gauge                            { return nil }
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram { return nil }
+func (r *Registry) CounterVec(name, help string, labels ...string) *Counter   { return nil }
+
+func register(r *Registry) {
+	r.Counter("rhmd_verdicts_total", "Verdicts issued.")
+	r.Counter("verdicts_total", "Missing namespace.") // want "lacks the rhmd_ namespace prefix"
+	r.Counter("rhmd_verdict_count", "Wrong suffix.")  // want "must end in _total"
+	r.Gauge("rhmd_queue_depth", "")                   // want "empty help"
+	r.Gauge("rhmd_pool_live", "Detectors serving.")
+	r.Histogram("latency_seconds", "Latency.", nil) // want "lacks the rhmd_ namespace prefix"
+	r.CounterVec("rhmd_outcomes_total", "Outcomes by kind.", "kind")
+	r.Counter("rhmd_spans_recycled_total",
+		"Spans returned to the pool, "+
+			"counted at Finish.")
+}
+
+// otherRegistry is not the obs shape; its names are its own business.
+type otherRegistry struct{}
+
+func (r *otherRegistry) Counter(name, help string) *Counter { return nil }
+
+func foreign(r *otherRegistry) {
+	_ = r.Counter("whatever", "")
+}

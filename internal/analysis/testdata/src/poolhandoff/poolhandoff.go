@@ -1,0 +1,79 @@
+// Package poolhandoff is a fixture for the poolhandoff analyzer: a
+// pooled value or span trace must not be used after a channel send or
+// Pool.Put transfers its ownership — the receiver may already be
+// recycling it.
+package poolhandoff
+
+import "sync"
+
+type Trace struct{ n int }
+
+func (t *Trace) EndSpan(s int) {}
+func (t *Trace) Finish()       {}
+
+type Recorder struct{}
+
+func (r *Recorder) Start(name string) *Trace { return new(Trace) }
+
+type submission struct {
+	tr *Trace
+	p  int
+}
+
+// submitRace is the PR 5 bug: the span is still touched after the
+// select clause that handed it to the worker, racing the worker's
+// Finish-and-recycle.
+func submitRace(r *Recorder, queue chan submission, p int) {
+	tr := r.Start("verdict")
+	select {
+	case queue <- submission{tr: tr, p: p}:
+		tr.EndSpan(1) // want "handed off via channel send"
+	default:
+		tr.EndSpan(2)
+		tr.Finish()
+	}
+}
+
+// submitFixed is the shipped fix: close the enqueue span BEFORE the
+// send; only the no-send default path still owns the trace.
+func submitFixed(r *Recorder, queue chan submission, p int) {
+	tr := r.Start("verdict")
+	tr.EndSpan(1)
+	select {
+	case queue <- submission{tr: tr, p: p}:
+	default:
+		tr.Finish()
+	}
+}
+
+// sendThenUse hands the trace off on every path.
+func sendThenUse(r *Recorder, ch chan *Trace) {
+	tr := r.Start("x")
+	ch <- tr
+	tr.Finish() // want "handed off via channel send"
+}
+
+// putThenUse recycles a pooled buffer, then reads it.
+func putThenUse(pool *sync.Pool) {
+	buf := pool.Get().([]byte)
+	_ = len(buf)
+	pool.Put(buf)
+	_ = buf[0] // want "handed off via channel send"
+}
+
+// loopReuse is clean: each iteration re-introduces a fresh trace
+// before the send, so the back edge's handed state never reaches a
+// live use.
+func loopReuse(r *Recorder, ch chan *Trace) {
+	for i := 0; i < 3; i++ {
+		tr := r.Start("w")
+		ch <- tr
+	}
+}
+
+// ownedUse never hands off; every use is fine.
+func ownedUse(r *Recorder) {
+	tr := r.Start("local")
+	tr.EndSpan(1)
+	tr.Finish()
+}

@@ -1,0 +1,81 @@
+// Package spanbalance is a fixture for the spanbalance analyzer: every
+// Recorder.Start trace must reach Finish on all return/panic paths, at
+// most once.
+package spanbalance
+
+type Trace struct{ Err string }
+
+func (t *Trace) Finish()    {}
+func (t *Trace) Flag(r int) {}
+
+type Recorder struct{}
+
+func (r *Recorder) Start(name, stage string) *Trace { return new(Trace) }
+
+var errEarly = errorString("early")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// leakOnError forgets the trace on the error path.
+func leakOnError(r *Recorder, fail bool) error {
+	tr := r.Start("checkpoint", "ckpt") // want "not finished on every path"
+	if fail {
+		return errEarly
+	}
+	tr.Finish()
+	return nil
+}
+
+// leakOnPanic forgets the trace on the panic path.
+func leakOnPanic(r *Recorder, n int) {
+	tr := r.Start("verdict", "v") // want "not finished on every path"
+	if n < 0 {
+		panic("bad window count")
+	}
+	tr.Finish()
+}
+
+// doubleFinish can close the trace twice when retry was already taken.
+func doubleFinish(r *Recorder, retry bool) {
+	tr := r.Start("swap", "sw")
+	if retry {
+		tr.Finish()
+	}
+	tr.Finish() // want "may already be finished"
+}
+
+// balanced closes on every path; neutral method calls keep it live.
+func balanced(r *Recorder, flag bool) {
+	tr := r.Start("b", "b")
+	if flag {
+		tr.Flag(1)
+	}
+	tr.Finish()
+}
+
+// deferred finishes at every exit by construction — the SwapPool shape.
+func mayPanic() {}
+
+func deferred(r *Recorder) {
+	tr := r.Start("pool-swap", "sw")
+	defer func() {
+		tr.Flag(2)
+		tr.Finish()
+	}()
+	mayPanic()
+}
+
+// sheds transfers ownership to a helper on the drop path; balance is
+// then the helper's responsibility.
+func finishShed(t *Trace) { t.Finish() }
+
+func sheds(r *Recorder, drop bool) {
+	tr := r.Start("shed", "s")
+	if drop {
+		finishShed(tr)
+		return
+	}
+	tr.Finish()
+}

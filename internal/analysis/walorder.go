@@ -1,0 +1,168 @@
+package analysis
+
+// walorder enforces the PR 8 swap-protocol invariant: in a function
+// that appends to the checkpoint WAL, the state publication — an
+// atomic Store that makes the new state visible to readers — must be
+// dominated by the Append. If a path can publish first, a crash
+// between the two leaves readers serving state the WAL never recorded,
+// which is exactly the fingerprint-drift bug the swap protocol exists
+// to prevent.
+//
+// The analysis is edge-sensitive dataflow over the CFG with one
+// function-wide WAL state: PENDING at entry, APPENDED after any
+// Store.Append call, and ABSENT on the branch where a nil-check proved
+// there is no checkpoint store attached (the nil-ckpt deployment
+// legitimately skips the WAL). An atomic publish is reported when
+// PENDING is still a possible state — i.e. some path reaches it with
+// neither an append nor nil-evidence. Functions with no Append are
+// ignored: plain pool installs (restore-time installGen, fleet-level
+// epoch bumps) delegate WAL writes elsewhere.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// WALOrder is the publish-after-WAL analyzer.
+var WALOrder = &Analyzer{
+	Name:     "walorder",
+	Doc:      "atomic state publication must be dominated by the checkpoint WAL append on every path",
+	Severity: SeverityError,
+	Run:      runWALOrder,
+}
+
+const (
+	woPending uint8 = 1 << iota
+	woAppended
+	woAbsent
+)
+
+// walKey is the single fact key for the function-wide WAL state.
+type walKeyType struct{}
+
+var walKey walKeyType
+
+func runWALOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		funcBodies(file, func(body *ast.BlockStmt, _ ast.Node) {
+			walOrderBody(pass, body)
+		})
+	}
+}
+
+func walOrderBody(pass *Pass, body *ast.BlockStmt) {
+	// Only functions that write the WAL themselves carry the ordering
+	// obligation.
+	appends := false
+	shallowWalkBody(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isWALAppend(pass, call) {
+			appends = true
+		}
+		return !appends
+	})
+	if !appends {
+		return
+	}
+
+	c := NewCFG(body)
+	fl := &Flow{
+		Entry: Facts{walKey: woPending},
+		Transfer: func(n ast.Node, f Facts) {
+			has := false
+			shallowWalk(n, func(sub ast.Node) bool {
+				if call, ok := sub.(*ast.CallExpr); ok && isWALAppend(pass, call) {
+					has = true
+				}
+				return !has
+			})
+			if has {
+				f[walKey] = woAppended
+			}
+		},
+		Edge: func(e Edge, f Facts) {
+			if nilCheckSkipsWAL(pass, e) {
+				v := f[walKey]
+				out := v &^ woPending
+				if v&woPending != 0 {
+					out |= woAbsent
+				}
+				f[walKey] = out
+			}
+		},
+	}
+	in := fl.Forward(c)
+
+	reported := map[token.Pos]bool{}
+	fl.Visit(c, in, func(n ast.Node, f Facts) {
+		if f[walKey]&woPending == 0 {
+			return
+		}
+		shallowWalk(n, func(sub ast.Node) bool {
+			call, ok := sub.(*ast.CallExpr)
+			if !ok || !isAtomicPublish(pass, call) {
+				return true
+			}
+			if !reported[call.Pos()] {
+				reported[call.Pos()] = true
+				pass.Reportf(call.Pos(), "atomic publish may run before the WAL append on some path; append to the checkpoint store first")
+			}
+			return true
+		})
+	})
+}
+
+// isWALAppend matches store.Append(kind, payload) on a checkpoint
+// Store value.
+func isWALAppend(pass *Pass, call *ast.CallExpr) bool {
+	recv, name, ok := methodCall(call)
+	return ok && name == "Append" && typeNamed(pass.TypeOf(recv), "Store")
+}
+
+// isAtomicPublish matches .Store(...) on any sync/atomic type —
+// atomic.Pointer[T].Store, atomic.Value.Store, atomic.Uint64.Store —
+// the moment new state becomes visible to concurrent readers.
+func isAtomicPublish(pass *Pass, call *ast.CallExpr) bool {
+	recv, name, ok := methodCall(call)
+	if !ok || name != "Store" {
+		return false
+	}
+	n := namedOf(pass.TypeOf(recv))
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// nilCheckSkipsWAL recognizes the branch edge that proves no
+// checkpoint store is attached: the false edge of `ckpt != nil` or the
+// true edge of `ckpt == nil`, where ckpt is a *Store-typed expression.
+func nilCheckSkipsWAL(pass *Pass, e Edge) bool {
+	bin, ok := e.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	var other ast.Expr
+	switch {
+	case isNilIdent(bin.X):
+		other = bin.Y
+	case isNilIdent(bin.Y):
+		other = bin.X
+	default:
+		return false
+	}
+	if !typeNamed(pass.TypeOf(other), "Store") {
+		return false
+	}
+	switch bin.Op {
+	case token.NEQ:
+		return !e.Taken
+	case token.EQL:
+		return e.Taken
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

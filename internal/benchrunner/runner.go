@@ -182,6 +182,7 @@ func Run(spec scenario.Spec, opts Options) (*Report, error) {
 	received := make(map[string]time.Duration, len(c.Events))
 	start := time.Now()
 	run.Start(context.Background())
+	//rhmd:ignore goroutineleak bounded by the finite compiled corpus: the loop submits len(c.Events) programs, then Close()s the run, which ends the consumer below
 	go func() {
 		for i, e := range c.Events {
 			if e.Delay > 0 {

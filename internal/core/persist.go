@@ -66,7 +66,7 @@ func (r *RHMD) Fingerprint() uint64 {
 		if err != nil {
 			fmt.Fprintf(h, "marshal-err=%v", err)
 		}
-		h.Write(body) //rhmd:ignore errclose hash.Hash64 writes never fail
+		h.Write(body)
 		h.Write([]byte{';'})
 	}
 	return h.Sum64()

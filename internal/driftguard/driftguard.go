@@ -29,6 +29,7 @@
 package driftguard
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -70,8 +71,11 @@ type Swapper interface {
 
 // Retrainer produces a retrained pool from a replay corpus. It runs on
 // the guard's background goroutine and may be slow; it must not touch
-// the serving engine.
-type Retrainer func(corpus []*prog.Program) (*core.RHMD, error)
+// the serving engine. ctx is cancelled by Guard.Close — a long-running
+// implementation should poll ctx.Err between training rounds and bail
+// out; the guard also discards any result produced after cancellation,
+// so ignoring ctx costs shutdown latency, never correctness.
+type Retrainer func(ctx context.Context, corpus []*prog.Program) (*core.RHMD, error)
 
 // Config tunes the guard. The zero value of every numeric field selects
 // a sensible default; Swapper and Retrain are required.
@@ -196,6 +200,10 @@ type Guard struct {
 	reg *obs.Registry
 
 	wg sync.WaitGroup // in-flight background retrains
+	// ctx is the lifetime of the guard's background work; Close cancels
+	// it so an in-flight retrain stops instead of outliving shutdown.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu    sync.Mutex
 	state State
@@ -253,6 +261,7 @@ func New(current *core.RHMD, cfg Config) (*Guard, error) {
 		replay: make([]*prog.Program, 0, cfg.ReplayCap),
 		prev:   current,
 	}
+	g.ctx, g.cancel = context.WithCancel(context.Background())
 	g.ins.state.Set(float64(Watching))
 	return g, nil
 }
@@ -384,14 +393,15 @@ func (g *Guard) fireDriftLocked(reason string) {
 	g.tracerEmit(obs.EvDrift, reason)
 
 	g.wg.Add(1)
-	go g.retrain(corpus, reason)
+	go g.retrain(g.ctx, corpus, reason)
 }
 
 // retrain is the background arm: build the next generation, archive it,
 // swap it in, enter canary. Any failure returns the guard to Watching
 // under cooldown with the old pool untouched — the hot path never
-// notices.
-func (g *Guard) retrain(corpus []*prog.Program, reason string) {
+// notices. ctx cancellation (Guard.Close) abandons the round before the
+// swap: a pool built during shutdown must never start serving.
+func (g *Guard) retrain(ctx context.Context, corpus []*prog.Program, reason string) {
 	defer g.wg.Done()
 	g.event("drift", reason)
 
@@ -406,9 +416,13 @@ func (g *Guard) retrain(corpus []*prog.Program, reason string) {
 		g.event("retrain-failure", detail)
 	}
 
-	pool, err := g.cfg.Retrain(corpus)
+	pool, err := g.cfg.Retrain(ctx, corpus)
 	if err != nil {
 		fail(err.Error())
+		return
+	}
+	if ctx.Err() != nil {
+		fail("cancelled: " + ctx.Err().Error())
 		return
 	}
 	if g.cfg.Archive != nil {
@@ -500,6 +514,16 @@ func (g *Guard) decideCanaryLocked() func() {
 // Wait blocks until any in-flight background retrain finishes. Call on
 // shutdown (after Close-ing the engine) and in tests.
 func (g *Guard) Wait() { g.wg.Wait() }
+
+// Close cancels the retrain context and waits for the background arm
+// to drain. After Close no retrained pool will be swapped in — a round
+// racing the shutdown is abandoned and counted as a retrain failure.
+// Close is the shutdown path; Wait alone is for tests that want the
+// round to complete.
+func (g *Guard) Close() {
+	g.cancel()
+	g.wg.Wait()
+}
 
 // event invokes the OnEvent hook without holding the guard lock.
 func (g *Guard) event(kind, detail string) {

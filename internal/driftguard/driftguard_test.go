@@ -2,6 +2,7 @@ package driftguard
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -134,7 +135,7 @@ func TestAgreementCollapseFiresAndCommits(t *testing.T) {
 	sw := &fakeSwapper{}
 	g, err := New(f.rhmd, Config{
 		Swapper:         sw,
-		Retrain:         func([]*prog.Program) (*core.RHMD, error) { return next, nil },
+		Retrain:         func(context.Context, []*prog.Program) (*core.RHMD, error) { return next, nil },
 		AccuracyFloor:   0.01, // effectively off: accuracy stays 1.0
 		AgreementFloor:  0.5,
 		Alpha:           0.6,
@@ -215,7 +216,7 @@ func TestRetrainFailureKeepsServing(t *testing.T) {
 	sw := &fakeSwapper{}
 	g, err := New(f.rhmd, Config{
 		Swapper:       sw,
-		Retrain:       func([]*prog.Program) (*core.RHMD, error) { return nil, fmt.Errorf("no corpus") },
+		Retrain:       func(context.Context, []*prog.Program) (*core.RHMD, error) { return nil, fmt.Errorf("no corpus") },
 		AccuracyFloor: 0.9,
 		Alpha:         1,
 		MinSamples:    2,
@@ -251,7 +252,7 @@ func TestIngestRingBounded(t *testing.T) {
 	f := getFixture(t)
 	g, err := New(f.rhmd, Config{
 		Swapper:   &fakeSwapper{},
-		Retrain:   func(c []*prog.Program) (*core.RHMD, error) { return nil, fmt.Errorf("x") },
+		Retrain:   func(_ context.Context, c []*prog.Program) (*core.RHMD, error) { return nil, fmt.Errorf("x") },
 		ReplayCap: 4,
 	})
 	if err != nil {
@@ -323,7 +324,7 @@ func TestStatusJSONAndString(t *testing.T) {
 	f := getFixture(t)
 	g, err := New(f.rhmd, Config{
 		Swapper: &fakeSwapper{},
-		Retrain: func(c []*prog.Program) (*core.RHMD, error) { return nil, fmt.Errorf("x") },
+		Retrain: func(_ context.Context, c []*prog.Program) (*core.RHMD, error) { return nil, fmt.Errorf("x") },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -356,7 +357,7 @@ func TestGuardConfigValidation(t *testing.T) {
 		t.Fatal("New accepted a config without Swapper/Retrain")
 	}
 	ok := Config{Swapper: &fakeSwapper{},
-		Retrain: func(c []*prog.Program) (*core.RHMD, error) { return nil, nil }}
+		Retrain: func(_ context.Context, c []*prog.Program) (*core.RHMD, error) { return nil, nil }}
 	if _, err := New(nil, ok); err == nil {
 		t.Fatal("New accepted a nil serving pool")
 	}

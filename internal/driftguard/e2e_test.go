@@ -215,7 +215,7 @@ func TestCanaryRegressionRollsBackE2E(t *testing.T) {
 	}
 	g, err := New(f.rhmd, Config{
 		Swapper:         e,
-		Retrain:         func([]*prog.Program) (*core.RHMD, error) { return evil, nil },
+		Retrain:         func(context.Context, []*prog.Program) (*core.RHMD, error) { return evil, nil },
 		Archive:         archive,
 		AccuracyFloor:   0.05, // the run fires via ForceDrift, not the floors
 		AgreementFloor:  0.001,

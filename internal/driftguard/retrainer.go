@@ -1,6 +1,8 @@
 package driftguard
 
 import (
+	"context"
+
 	"rhmd/internal/core"
 	"rhmd/internal/game"
 	"rhmd/internal/prog"
@@ -17,7 +19,10 @@ import (
 // (base, seed, traffic).
 func NewGameRetrainer(base *core.RHMD, traceLen int, seed uint64) Retrainer {
 	var round uint64
-	return func(corpus []*prog.Program) (*core.RHMD, error) {
+	return func(ctx context.Context, corpus []*prog.Program) (*core.RHMD, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		round++
 		res, err := game.RetrainPool(base, corpus, traceLen, game.Config{Seed: seed + round})
 		if err != nil {

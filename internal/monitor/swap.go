@@ -114,13 +114,15 @@ func (e *Engine) SwapPool(r *core.RHMD) (epoch uint64, err error) {
 	e.ckptMu.RLock()
 	if e.ckpt != nil {
 		payload, jerr := json.Marshal(walPoolSwap{Epoch: epoch, Fingerprint: fp})
-		if jerr == nil {
-			jerr = e.ckpt.Append(checkpoint.KindPoolSwap, payload)
-		}
 		if jerr != nil {
 			e.ckptMu.RUnlock()
 			e.ins.ckptFailures.Inc()
 			return 0, fmt.Errorf("monitor: WAL-logging pool swap: %w", jerr)
+		}
+		if aerr := e.ckpt.Append(checkpoint.KindPoolSwap, payload); aerr != nil {
+			e.ckptMu.RUnlock()
+			e.ins.ckptFailures.Inc()
+			return 0, fmt.Errorf("monitor: WAL-logging pool swap: %w", aerr)
 		}
 	}
 	nh.attach(e.ins, e.tracer)

@@ -321,6 +321,7 @@ func (e *Engine) classifyOnce(ctx context.Context, fc FaultContext, fault Fault,
 		err error
 	}
 	ch := make(chan outcome, 1)
+	//rhmd:ignore goroutineleak deliberate abandonment: a detector stalled past the window deadline is left to finish on its own, and the buffered outcome channel lets it exit without a receiver
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {

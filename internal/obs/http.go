@@ -128,6 +128,7 @@ func ListenAndServe(addr string, reg *Registry, tr *Tracer, mounts ...Mount) (st
 		return "", nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
 	}
 	srv := newServer(NewMux(reg, tr, mounts...))
+	//rhmd:ignore goroutineleak Serve's shutdown edge is the returned srv.Shutdown closure, which makes Serve return; the analyzer cannot see through the *http.Server
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Shutdown, nil
 }
