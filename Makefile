@@ -82,6 +82,7 @@ crashtest:
 # its final fleet-health JSON to FLEET_HEALTH_OUT (CI uploads it).
 chaostest:
 	FLEET_HEALTH_OUT=$(CURDIR)/fleet-health.json \
+	INCIDENT_OUT=$(CURDIR)/results/incidents \
 		$(GO) test -race -run 'Chaos|RestoreUnderLoad|FleetSingleShard' -v ./internal/fleet/
 
 # Live drift-guard suite, under -race: the online evade→drift→retrain→
@@ -92,6 +93,7 @@ chaostest:
 # writes its machine-readable outcome to DRIFT_REPORT_OUT (CI uploads it).
 drifttest:
 	DRIFT_REPORT_OUT=$(CURDIR)/drift-report.json \
+	INCIDENT_OUT=$(CURDIR)/results/incidents \
 		$(GO) test -race -v ./internal/driftguard/
 	$(GO) test -race -run 'Swap' -v ./internal/monitor/ ./internal/fleet/
 	$(GO) test -race -run 'RetrainPool' -v ./internal/game/

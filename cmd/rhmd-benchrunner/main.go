@@ -40,6 +40,7 @@ func run() int {
 		baseline  = flag.String("baseline", "", "baseline BENCH report to gate against")
 		threshold = flag.Float64("threshold", 0.10, "max fractional throughput drop vs baseline before failing")
 		seed      = flag.Uint64("seed", 42, "scenario seed (identical seeds compile identical corpora)")
+		withSLO   = flag.Bool("slo", false, "evaluate the standard SLO objectives over the run and record per-objective verdicts in the report")
 	)
 	flag.Parse()
 
@@ -81,7 +82,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "rhmd-benchrunner:", err)
 			return 2
 		}
-		rep, err := benchrunner.Run(spec, benchrunner.Options{OutDir: *out, Profile: *profile})
+		rep, err := benchrunner.Run(spec, benchrunner.Options{OutDir: *out, Profile: *profile, SLO: *withSLO})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rhmd-benchrunner:", err)
 			return 2
@@ -96,6 +97,10 @@ func run() int {
 			fmt.Printf(", p50 %.2fms p95 %.2fms p99 %.2fms", ex.P50ms, ex.P95ms, ex.P99ms)
 		}
 		fmt.Printf(", %d allocs/op -> %s\n", rep.AllocsPerOp, path)
+		for _, v := range rep.SLO {
+			fmt.Printf("  slo: %-16s %-6s budget %.3f (target %.4f, bad %.5f)\n",
+				v.Objective, v.State, v.BudgetRemaining, v.Target, v.BadRatio)
+		}
 
 		if base != nil {
 			cmp := benchrunner.Compare(rep, base, *threshold)

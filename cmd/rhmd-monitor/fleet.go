@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -15,6 +16,8 @@ import (
 	"rhmd/internal/fleet"
 	"rhmd/internal/monitor"
 	"rhmd/internal/obs"
+	"rhmd/internal/obs/incident"
+	"rhmd/internal/obs/slo"
 	"rhmd/internal/obs/span"
 	"rhmd/internal/prog"
 )
@@ -33,8 +36,16 @@ type fleetOptions struct {
 	// drift enables the live drift guard over the whole fleet; driftCfg
 	// is the guard configuration with Swapper left unset (runFleet wires
 	// the fleet in as the swapper).
-	drift         bool
-	driftCfg      driftguard.Config
+	drift    bool
+	driftCfg driftguard.Config
+	// SLO/incident flags, mirrored from main (see sloParams).
+	sloOn       bool
+	sloConfig   string
+	burnFast    float64
+	burnSlow    float64
+	incidentDir string
+	// slowVerdict is -slow-ms, the fleet latency objective's threshold.
+	slowVerdict   time.Duration
 	metrics       *obs.Registry
 	tracer        *obs.Tracer
 	spans         *span.Recorder
@@ -51,18 +62,76 @@ type fleetOptions struct {
 // through a sharded fleet, mirrors the single-engine observability
 // surface (plus /fleet health), and prints a per-shard survival report.
 func runFleet(o fleetOptions) error {
-	fl, err := fleet.New(o.rhmd, fleet.Config{
+	// SLO engine + incident recorder first: the fleet config wants the
+	// shard-death hook and the drift config the rollback hook, so both
+	// reference the recorder before their owners exist. The fleet and
+	// guard flow back to the recorder through atomic pointers (captures
+	// run on supervisor/alert goroutines).
+	var flPtr atomic.Pointer[fleet.Fleet]
+	var guardPtr atomic.Pointer[driftguard.Guard]
+	sloW, err := buildSLO(sloParams{
+		enabled:     o.sloOn,
+		configPath:  o.sloConfig,
+		burnFast:    o.burnFast,
+		burnSlow:    o.burnSlow,
+		incidentDir: o.incidentDir,
+		objectives:  slo.FleetObjectives(o.slowVerdict, o.shards, 0),
+		reg:         o.metrics,
+		tracer:      o.tracer,
+		spans:       o.spans,
+		drift: func() any {
+			g := guardPtr.Load()
+			if g == nil {
+				return nil
+			}
+			st := g.Status()
+			return &st
+		},
+		fleet: func() any {
+			f := flPtr.Load()
+			if f == nil {
+				return nil
+			}
+			return f.Stats()
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer sloW.shutdown()
+
+	fcfg := fleet.Config{
 		Shards:        o.shards,
 		CheckpointDir: o.ckptDir,
 		Engine:        o.engine,
 		Script:        o.script,
 		WedgeTimeout:  o.wedge,
 		Metrics:       o.metrics,
-	})
+	}
+	if sloW.rec != nil {
+		rec := sloW.rec
+		fcfg.OnShardDeath = func(shard int, reason string) {
+			if _, err := rec.Trigger(incident.Cause{Kind: "shard-death",
+				Detail: fmt.Sprintf("shard %d: %s", shard, reason)}); err != nil && err != incident.ErrSuppressed {
+				fmt.Fprintf(os.Stderr, "incident: %v\n", err)
+			}
+		}
+		o.driftCfg.OnRollback = func(detail string) {
+			if _, err := rec.Trigger(incident.Cause{Kind: "drift-rollback", Detail: detail}); err != nil && err != incident.ErrSuppressed {
+				fmt.Fprintf(os.Stderr, "incident: %v\n", err)
+			}
+		}
+	}
+	fl, err := fleet.New(o.rhmd, fcfg)
 	if err != nil {
 		return err
 	}
+	flPtr.Store(fl)
 	fmt.Fprintf(o.info, "fleet: %d shards, durable=%v\n", o.shards, o.ckptDir != "")
+	if sloW.eng != nil {
+		fmt.Fprintf(o.info, "slo: %d objectives (page at %.1fx burn, ticket at %.1fx)\n",
+			len(sloW.eng.Objectives()), o.burnFast, o.burnSlow)
+	}
 
 	var guard *driftguard.Guard
 	if o.drift {
@@ -72,6 +141,7 @@ func runFleet(o fleetOptions) error {
 		if err != nil {
 			return err
 		}
+		guardPtr.Store(guard)
 		fmt.Fprintf(o.info, "drift-guard: watching the fleet (per-shard swaps, fleet epoch convergence)\n")
 	}
 
@@ -99,6 +169,7 @@ func runFleet(o fleetOptions) error {
 		if guard != nil {
 			mounts = append(mounts, obs.Mount{Path: "/drift", Handler: guard.Handler()})
 		}
+		mounts = append(mounts, sloW.mounts...)
 		addr, shutdown, err := obs.ListenAndServe(o.metricsAddr, fl.Registry(), o.tracer, mounts...)
 		if err != nil {
 			return err

@@ -47,6 +47,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -57,6 +58,8 @@ import (
 	"rhmd/internal/features"
 	"rhmd/internal/monitor"
 	"rhmd/internal/obs"
+	"rhmd/internal/obs/incident"
+	"rhmd/internal/obs/slo"
 	"rhmd/internal/obs/span"
 	"rhmd/internal/prog"
 )
@@ -98,6 +101,11 @@ func main() {
 	driftAlpha := flag.Float64("drift-alpha", 0.05, "EWMA smoothing factor for the drift signals (with -drift)")
 	driftCanary := flag.Int("drift-canary", 32, "new-generation verdicts the post-swap canary collects before commit/rollback (with -drift)")
 	driftPoolDir := flag.String("drift-pool-dir", "", "archive every pool generation here as pool-<fingerprint>.json and resolve swap WAL entries from it on restore (with -drift)")
+	sloOn := flag.Bool("slo", false, "evaluate the standard SLO objectives (verdict latency, shed rate, durability, drift EWMAs, fleet serving) with multi-window burn-rate alerting on /slo")
+	sloConfig := flag.String("slo-config", "", "JSON objective declarations overriding the standard SLO set (implies -slo)")
+	burnFast := flag.Float64("burn-fast", slo.DefaultFastBurn, "fast-rule burn-rate threshold: page when both the 5m and 1h windows burn at least this multiple of the error budget")
+	burnSlow := flag.Float64("burn-slow", slo.DefaultSlowBurn, "slow-rule burn-rate threshold: ticket when both the 30m and 6h windows burn at least this multiple of the error budget")
+	incidentDir := flag.String("incident-dir", "", "capture fingerprinted incident bundles (registry diff, kept traces, drift/fleet status, runtime deltas) into this directory on SLO pages/tickets, shard deaths and drift rollbacks; served on /incidents")
 	flag.Parse()
 
 	// In -json mode stdout carries exactly one JSON document; everything
@@ -231,6 +239,12 @@ func main() {
 			},
 			drift:         *drift,
 			driftCfg:      driftCfg,
+			sloOn:         *sloOn,
+			sloConfig:     *sloConfig,
+			burnFast:      *burnFast,
+			burnSlow:      *burnSlow,
+			incidentDir:   *incidentDir,
+			slowVerdict:   time.Duration(*slowMs) * time.Millisecond,
 			metrics:       reg,
 			tracer:        tracer,
 			spans:         spans,
@@ -284,11 +298,51 @@ func main() {
 		}
 	}
 
+	// SLO engine + incident flight recorder (both flag-gated). Built
+	// before the drift guard so its rollback hook can target the
+	// recorder; the guard is handed to the recorder through an atomic
+	// pointer because captures run on other goroutines.
+	var guardPtr atomic.Pointer[driftguard.Guard]
+	sloW, err := buildSLO(sloParams{
+		enabled:     *sloOn,
+		configPath:  *sloConfig,
+		burnFast:    *burnFast,
+		burnSlow:    *burnSlow,
+		incidentDir: *incidentDir,
+		objectives:  slo.DefaultObjectives(time.Duration(*slowMs) * time.Millisecond),
+		reg:         reg,
+		tracer:      tracer,
+		spans:       spans,
+		drift: func() any {
+			g := guardPtr.Load()
+			if g == nil {
+				return nil
+			}
+			st := g.Status()
+			return &st
+		},
+	})
+	check(err)
+	defer sloW.shutdown()
+	if sloW.rec != nil {
+		rec := sloW.rec
+		driftCfg.OnRollback = func(detail string) {
+			if _, err := rec.Trigger(incident.Cause{Kind: "drift-rollback", Detail: detail}); err != nil && err != incident.ErrSuppressed {
+				fmt.Fprintf(os.Stderr, "incident: %v\n", err)
+			}
+		}
+	}
+	if sloW.eng != nil {
+		fmt.Fprintf(info, "slo: %d objectives (page at %.1fx burn, ticket at %.1fx)\n",
+			len(sloW.eng.Objectives()), *burnFast, *burnSlow)
+	}
+
 	var guard *driftguard.Guard
 	if *drift {
 		driftCfg.Swapper = e
 		guard, err = driftguard.New(e.Pool(), driftCfg)
 		check(err)
+		guardPtr.Store(guard)
 		fmt.Fprintf(info, "drift-guard: watching (accuracy floor %.2f, agreement floor %.2f, warm-up %d, canary %d)\n",
 			*driftAccuracy, *driftAgreement, *driftWindow, *driftCanary)
 	}
@@ -319,6 +373,7 @@ func main() {
 		if guard != nil {
 			mounts = append(mounts, obs.Mount{Path: "/drift", Handler: guard.Handler()})
 		}
+		mounts = append(mounts, sloW.mounts...)
 		addr, shutdown, err := obs.ListenAndServe(*metricsAddr, e.Registry(), tracer, mounts...)
 		check(err)
 		defer func() {

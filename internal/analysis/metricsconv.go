@@ -23,12 +23,14 @@ var MetricsConv = &Analyzer{
 }
 
 // registryMethods maps registration method names to whether they
-// create counters (which must end in _total).
+// create counters (which must end in _total; non-counters must NOT,
+// since dashboards infer rate()-ability from the suffix).
 var registryMethods = map[string]bool{
 	"Counter":      true,
 	"CounterVec":   true,
 	"Gauge":        false,
 	"GaugeVec":     false,
+	"GaugeFunc":    false,
 	"Histogram":    false,
 	"HistogramVec": false,
 }
@@ -60,6 +62,9 @@ func runMetricsConv(pass *Pass) {
 				}
 				if isCounter && !strings.HasSuffix(name, "_total") {
 					pass.Reportf(call.Args[0].Pos(), "counter %q must end in _total", name)
+				}
+				if !isCounter && strings.HasSuffix(name, "_total") {
+					pass.Reportf(call.Args[0].Pos(), "non-counter %q must not end in _total (the suffix marks rate()-able counters)", name)
 				}
 			}
 			if help, ok := stringLit(call.Args[1]); ok && strings.TrimSpace(help) == "" {

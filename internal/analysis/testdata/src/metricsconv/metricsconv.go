@@ -5,14 +5,17 @@ package metricsconv
 
 type Counter struct{}
 type Gauge struct{}
+type GaugeFunc struct{}
 type Histogram struct{}
 
 type Registry struct{}
 
 func (r *Registry) Counter(name, help string) *Counter                        { return nil }
 func (r *Registry) Gauge(name, help string) *Gauge                            { return nil }
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) *GaugeFunc { return nil }
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram { return nil }
 func (r *Registry) CounterVec(name, help string, labels ...string) *Counter   { return nil }
+func (r *Registry) GaugeVec(name, help string, labels ...string) *Gauge       { return nil }
 
 func register(r *Registry) {
 	r.Counter("rhmd_verdicts_total", "Verdicts issued.")
@@ -25,6 +28,17 @@ func register(r *Registry) {
 	r.Counter("rhmd_spans_recycled_total",
 		"Spans returned to the pool, "+
 			"counted at Finish.")
+
+	// The SLO/incident subsystem's registrations, born lint-clean.
+	r.CounterVec("rhmd_slo_transitions_total", "Alert transitions.", "objective", "to")
+	r.GaugeVec("rhmd_slo_alert_state", "0 ok, 1 ticket, 2 page.", "objective")
+	r.CounterVec("rhmd_incident_captures_total", "Bundles captured.", "cause")
+	r.Gauge("rhmd_incident_bundles", "Bundles retained.")
+	r.GaugeFunc("rhmd_fleet_serving_fraction", "Serving fraction.", nil)
+	r.GaugeFunc("slo_budget", "Missing namespace.", nil)              // want "lacks the rhmd_ namespace prefix"
+	r.GaugeFunc("rhmd_slo_evals_total", "Gauge named counter.", nil)  // want "must not end in _total"
+	r.Gauge("rhmd_incident_suppressed_total", "Gauge named counter.") // want "must not end in _total"
+	r.GaugeFunc("rhmd_slo_uptime_seconds", "", nil)                   // want "empty help"
 }
 
 // otherRegistry is not the obs shape; its names are its own business.

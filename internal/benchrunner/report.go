@@ -76,6 +76,20 @@ type Profiles struct {
 	Heap string `json:"heap,omitempty"`
 }
 
+// SLOVerdict is one objective's end-of-run evaluation when the run was
+// executed with the SLO engine enabled: the scenario doubles as an SLO
+// conformance run, and the report records whether the run's telemetry
+// met each objective.
+type SLOVerdict struct {
+	Objective       string  `json:"objective"`
+	Target          float64 `json:"target"`
+	State           string  `json:"state"`
+	BadRatio        float64 `json:"bad_ratio"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+	BurnFast        float64 `json:"burn_fast"`
+	BurnSlow        float64 `json:"burn_slow"`
+}
+
 // Report is one scenario run's machine-readable result.
 type Report struct {
 	Schema      string `json:"schema"`
@@ -115,6 +129,10 @@ type Report struct {
 	BytesPerOp  uint64 `json:"bytes_per_op"`
 
 	Profiles *Profiles `json:"profiles,omitempty"`
+
+	// SLO carries per-objective conformance verdicts when the run was
+	// executed with -slo (additive; absent on plain perf runs).
+	SLO []SLOVerdict `json:"slo,omitempty"`
 
 	// Note carries provenance for hand-converted reports (e.g. the
 	// seed baseline derived from results/bench-spans.txt).

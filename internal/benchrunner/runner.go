@@ -19,6 +19,7 @@ import (
 	"rhmd/internal/fleet"
 	"rhmd/internal/monitor"
 	"rhmd/internal/obs"
+	"rhmd/internal/obs/slo"
 	"rhmd/internal/prog"
 	"rhmd/internal/scenario"
 )
@@ -33,6 +34,14 @@ type Options struct {
 	// Profile enables CPU and heap pprof capture around the replay,
 	// written to BENCH_<scenario>.cpu.pprof / .heap.pprof in OutDir.
 	Profile bool
+	// SLO runs the standard SLO objective set against the run's
+	// registry (windows compressed to the seconds scale of a scenario
+	// replay) and records per-objective conformance verdicts in the
+	// report — the scenario doubles as an SLO conformance run, and the
+	// throughput delta against a non-SLO run measures the engine's
+	// overhead. The SLO engine's own instruments go to a private
+	// registry so the report's before/after diff stays clean.
+	SLO bool
 }
 
 // runner is the execution surface the engine and the fleet share —
@@ -143,6 +152,40 @@ func Run(spec scenario.Spec, opts Options) (*Report, error) {
 		run = eng
 	}
 
+	var sloEng *slo.Engine
+	var sloStop, sloDone chan struct{}
+	if opts.SLO {
+		objs := slo.DefaultObjectives(0)
+		if norm.Engine.Shards > 1 {
+			objs = slo.FleetObjectives(0, norm.Engine.Shards, 0)
+		}
+		sloEng, err = slo.New(slo.Config{
+			Source:  reg,
+			Metrics: obs.NewRegistry(),
+			Now:     time.Now,
+			// A scenario replay lasts seconds, not hours: compress the
+			// alert windows to that scale so burn rates are meaningful
+			// within one run.
+			Interval: 50 * time.Millisecond,
+			Windows: slo.Windows{
+				FastShort: 250 * time.Millisecond,
+				FastLong:  time.Second,
+				SlowShort: 500 * time.Millisecond,
+				SlowLong:  2 * time.Second,
+			},
+			Objectives: objs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sloStop = make(chan struct{})
+		sloDone = make(chan struct{})
+		go func() {
+			defer close(sloDone)
+			sloEng.Run(sloStop)
+		}()
+	}
+
 	rep := &Report{
 		Schema:      SchemaVersion,
 		Scenario:    norm.Name,
@@ -205,6 +248,13 @@ func Run(spec scenario.Spec, opts Options) (*Report, error) {
 		}
 	}
 	wall := time.Since(start)
+	if sloEng != nil {
+		close(sloStop)
+		<-sloDone
+		// One final deterministic tick so the verdicts cover the whole
+		// replay even if the last ticker interval never fired.
+		sloEng.Tick()
+	}
 
 	after := reg.Snapshot()
 	var msAfter runtime.MemStats
@@ -248,6 +298,19 @@ func Run(spec scenario.Spec, opts Options) (*Report, error) {
 			P95ms:   1000 * hv.Quantile(0.95),
 			P99ms:   1000 * hv.Quantile(0.99),
 			Samples: hv.Count,
+		}
+	}
+	if sloEng != nil {
+		for _, o := range sloEng.Status().Objectives {
+			rep.SLO = append(rep.SLO, SLOVerdict{
+				Objective:       o.Name,
+				Target:          o.Target,
+				State:           o.State,
+				BadRatio:        o.BadRatio,
+				BudgetRemaining: o.BudgetRemaining,
+				BurnFast:        math.Min(o.BurnFastShort, o.BurnFastLong),
+				BurnSlow:        math.Min(o.BurnSlowShort, o.BurnSlowLong),
+			})
 		}
 	}
 	return rep, nil

@@ -122,6 +122,11 @@ type Config struct {
 	Metrics *obs.Registry
 	// Tracer, when non-nil, receives drift/canary lifecycle events.
 	Tracer *obs.Tracer
+	// OnRollback, when non-nil, is called (off the guard lock) after a
+	// canary rollback lands — the incident flight recorder's trigger:
+	// a rollback means a retrained pool regressed in production, which
+	// is exactly the moment to freeze a diagnostic bundle.
+	OnRollback func(detail string)
 	// OnEvent, when non-nil, is called for each lifecycle step (drift
 	// fired, retrain done/failed, canary commit/rollback) — the CLI's
 	// progress hook. Called with the guard's lock NOT held.
@@ -489,7 +494,12 @@ func (g *Guard) decideCanaryLocked() func() {
 		g.ins.state.Set(float64(Watching))
 		g.ins.rollbacks.Inc()
 		g.tracerEmit(obs.EvCanary, detail)
-		return func() { g.event("rollback", detail) }
+		return func() {
+			g.event("rollback", detail)
+			if g.cfg.OnRollback != nil {
+				g.cfg.OnRollback(detail)
+			}
+		}
 	}
 
 	// Commit: the new generation is the pool of record — a future drift

@@ -2,14 +2,35 @@ package driftguard
 
 import (
 	"context"
+	"errors"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"rhmd/internal/core"
 	"rhmd/internal/monitor"
+	"rhmd/internal/obs/incident"
 	"rhmd/internal/prog"
 )
+
+// rollbackIncidentRecorder builds the flight recorder the rollback
+// scenario wires into OnRollback. Bundles land in $INCIDENT_OUT (the
+// drifttest make target points it at results/incidents, which CI
+// uploads when the suite fails) or a per-test temp dir.
+func rollbackIncidentRecorder(t *testing.T, e *monitor.Engine) (*incident.Recorder, string) {
+	t.Helper()
+	dir := os.Getenv("INCIDENT_OUT")
+	if dir == "" {
+		dir = filepath.Join(t.TempDir(), "incidents")
+	}
+	rec, err := incident.NewRecorder(incident.Config{Dir: dir, Now: time.Now, Registry: e.Registry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, dir
+}
 
 // flip returns a shallow clone of p with the opposite label — the test
 // stand-in for a fully evasive campaign: the trace is unchanged, but
@@ -213,6 +234,7 @@ func TestCanaryRegressionRollsBackE2E(t *testing.T) {
 	for _, d := range evil.Detectors {
 		d.Threshold = 1e300 // flags nothing, ever
 	}
+	rec, incDir := rollbackIncidentRecorder(t, e)
 	g, err := New(f.rhmd, Config{
 		Swapper:         e,
 		Retrain:         func(context.Context, []*prog.Program) (*core.RHMD, error) { return evil, nil },
@@ -224,6 +246,12 @@ func TestCanaryRegressionRollsBackE2E(t *testing.T) {
 		CanaryWindow:    4,
 		CanaryTolerance: 0.15,
 		Cooldown:        1 << 20,
+		OnRollback: func(detail string) {
+			_, err := rec.Trigger(incident.Cause{Kind: "drift-rollback", Detail: detail})
+			if err != nil && !errors.Is(err, incident.ErrSuppressed) {
+				t.Errorf("incident capture on rollback: %v", err)
+			}
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -292,6 +320,20 @@ func TestCanaryRegressionRollsBackE2E(t *testing.T) {
 	if e.PoolEpoch() != 2 || e.PoolFingerprint() != f.rhmd.Fingerprint() {
 		t.Fatalf("rollback did not restore the previous generation: epoch %d fingerprint %016x, want 2/%016x",
 			e.PoolEpoch(), e.PoolFingerprint(), f.rhmd.Fingerprint())
+	}
+
+	// The rollback tripped the flight recorder: a bundle with the
+	// drift-rollback cause exists and round-trips.
+	ids, err := rec.List()
+	if err != nil || len(ids) == 0 {
+		t.Fatalf("rollback captured no incident bundle: %d (%v)", len(ids), err)
+	}
+	b, err := incident.Load(nil, filepath.Join(incDir, ids[len(ids)-1]+".json"))
+	if err != nil {
+		t.Fatalf("rollback bundle does not round-trip: %v", err)
+	}
+	if b.Cause.Kind != "drift-rollback" || b.Cause.Detail == "" {
+		t.Errorf("bundle cause = %+v, want drift-rollback with detail", b.Cause)
 	}
 
 	// The restored pool still serves: the stream keeps flowing after the

@@ -2,14 +2,36 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"rhmd/internal/monitor"
+	"rhmd/internal/obs"
+	"rhmd/internal/obs/incident"
 )
+
+// chaosIncidentRecorder builds the flight recorder the chaos scenario
+// wires into OnShardDeath. Bundles land in $INCIDENT_OUT (the chaostest
+// make target points it at results/incidents, which CI uploads when
+// the suite fails) or a per-test temp dir.
+func chaosIncidentRecorder(t *testing.T, reg *obs.Registry) (*incident.Recorder, string) {
+	t.Helper()
+	dir := os.Getenv("INCIDENT_OUT")
+	if dir == "" {
+		dir = filepath.Join(t.TempDir(), "incidents")
+	}
+	rec, err := incident.NewRecorder(incident.Config{Dir: dir, Now: time.Now, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, dir
+}
 
 // stateWatcher polls the fleet health endpoint — the same JSON an
 // operator scrapes — recording every state it observes for one shard
@@ -101,10 +123,21 @@ func TestChaosKillShardCrashAtByte(t *testing.T) {
 	script := &monitor.ShardScript{Faults: []monitor.ShardFault{
 		{Shard: target, Kind: monitor.ShardCrashAtByte, Arg: 4096},
 	}}
+	reg := obs.NewRegistry()
+	rec, incDir := chaosIncidentRecorder(t, reg)
+	var deaths atomic.Int64
 	fl, err := New(f.rhmd, Config{
 		Shards: 3, CheckpointDir: t.TempDir(), Script: script,
 		SupervisorEvery: 5 * time.Millisecond, WedgeTimeout: 5 * time.Second,
-		Engine: engineTemplate(f),
+		Engine: engineTemplate(f), Metrics: reg,
+		OnShardDeath: func(shard int, reason string) {
+			deaths.Add(1)
+			_, err := rec.Trigger(incident.Cause{Kind: "shard-death",
+				Detail: fmt.Sprintf("shard %d: %s", shard, reason)})
+			if err != nil && !errors.Is(err, incident.ErrSuppressed) {
+				t.Errorf("incident capture on shard death: %v", err)
+			}
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -200,6 +233,23 @@ func TestChaosKillShardCrashAtByte(t *testing.T) {
 				t.Errorf("sibling shard %d restarted %d times during the chaos run", i, sh.Restarts)
 			}
 		}
+	}
+
+	// The shard death tripped the flight recorder: at least one bundle
+	// with the shard-death cause exists and round-trips.
+	if deaths.Load() == 0 {
+		t.Error("OnShardDeath never fired for the scripted disk death")
+	}
+	ids, err := rec.List()
+	if err != nil || len(ids) == 0 {
+		t.Fatalf("shard death captured no incident bundle: %d (%v)", len(ids), err)
+	}
+	b, err := incident.Load(nil, filepath.Join(incDir, ids[len(ids)-1]+".json"))
+	if err != nil {
+		t.Fatalf("shard-death bundle does not round-trip: %v", err)
+	}
+	if b.Cause.Kind != "shard-death" {
+		t.Errorf("bundle cause %q, want shard-death", b.Cause.Kind)
 	}
 
 	if out := os.Getenv("FLEET_HEALTH_OUT"); out != "" {

@@ -57,6 +57,11 @@ type Config struct {
 	// engine metrics live in per-generation private registries; the
 	// fleet health endpoint aggregates them as JSON.
 	Metrics *obs.Registry
+	// OnShardDeath, when non-nil, is called from the restart goroutine
+	// as a shard leaves serving (before the rebuild begins) — the
+	// incident flight recorder's trigger. It must not block for long:
+	// the dead shard stays down until it returns.
+	OnShardDeath func(shard int, reason string)
 }
 
 func (c *Config) fill() {
@@ -163,6 +168,13 @@ func New(r *core.RHMD, cfg Config) (*Fleet, error) {
 		f.ins.state[i].Set(float64(Serving))
 	}
 	f.ins.serving.Set(float64(cfg.Shards))
+	// Fleet-level SLI aggregate: the serving fraction as a gauge func,
+	// so an SLO objective (and any scrape) reads one normalized number
+	// instead of dividing rhmd_fleet_serving by the configured count.
+	shards := cfg.Shards
+	reg.GaugeFunc("rhmd_fleet_serving_fraction",
+		"Fraction of configured shards currently serving (1 = full fleet).",
+		func() float64 { return f.ins.serving.Value() / float64(shards) })
 	f.alignPools()
 	return f, nil
 }
@@ -424,6 +436,13 @@ func (f *Fleet) kill(sh *shard, reason string) {
 // only, and if every rebuild attempt fails the shard parks degraded
 // with its keys left rerouted.
 func (f *Fleet) restart(sh *shard, reason string) {
+	// Fire the death hook first, while the shard's terminal state is
+	// still intact: the incident recorder wants the scene of the crime,
+	// not the rebuilt shard. Already on the restart goroutine, so the
+	// supervisor loop is never blocked by the hook's I/O.
+	if f.cfg.OnShardDeath != nil {
+		f.cfg.OnShardDeath(sh.idx, reason)
+	}
 	f.mu.Lock()
 	oldGen := sh.gen.Load()
 	eng := sh.eng.Load()

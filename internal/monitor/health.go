@@ -92,6 +92,20 @@ func (b *healthBoard) attach(ins *instruments, tracer *obs.Tracer) {
 	b.publishLocked()
 }
 
+// retire detaches the board from the shared instruments and tracer.
+// SwapPool calls it on the outgoing generation right after publishing
+// the new one: verdicts still in flight against the old pool keep
+// completing (report/pick work fine detached), but their breaker
+// transitions and weight updates no longer overwrite the serving
+// generation's gauges — without this, one slow old-generation verdict
+// landing after the swap republishes retired state over live state.
+func (b *healthBoard) retire() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ins = nil
+	b.tracer = nil
+}
+
 // publishLocked refreshes the per-detector weight/state gauges and the
 // live-pool gauge from current breaker state. Callers hold mu.
 func (b *healthBoard) publishLocked() {

@@ -129,6 +129,11 @@ func (e *Engine) SwapPool(r *core.RHMD) (epoch uint64, err error) {
 	e.pool.Store(&poolGen{epoch: epoch, rhmd: r, health: nh})
 	e.ckptMu.RUnlock()
 
+	// Detach the outgoing generation from the shared gauges: in-flight
+	// verdicts against it finish harmlessly, but can no longer publish
+	// retired breaker state over the serving generation's.
+	old.health.retire()
+
 	e.ins.poolSwaps.Inc()
 	e.ins.poolGeneration.Set(float64(epoch))
 	e.tracer.Emit(obs.Event{Kind: obs.EvPoolSwap, Detector: -1, Window: -1,
@@ -149,6 +154,7 @@ func (e *Engine) installGen(epoch uint64, r *core.RHMD) error {
 	nh := newHealthBoard(r, e.cfg.FailureThreshold, uint64(e.cfg.ProbeAfter))
 	nh.attach(e.ins, e.tracer)
 	e.pool.Store(&poolGen{epoch: epoch, rhmd: r, health: nh})
+	old.health.retire()
 	e.ins.poolGeneration.Set(float64(epoch))
 	return nil
 }

@@ -1,0 +1,81 @@
+package obs
+
+import "testing"
+
+func TestVecDelete(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("x_total", "h", "k")
+	v.With("a").Add(3)
+	v.With("b").Add(5)
+
+	if !v.Delete("a") {
+		t.Fatal("Delete of an existing child reported false")
+	}
+	if v.Delete("a") {
+		t.Fatal("Delete of an absent child reported true")
+	}
+	snap := r.Snapshot()
+	if got := snap.Counter("x_total"); got != 5 {
+		t.Fatalf("family sum after delete = %d, want 5 (only b remains)", got)
+	}
+	if got := snap.CounterWith("x_total", "a"); got != 0 {
+		t.Fatalf("deleted child still visible: %d", got)
+	}
+	// With recreates a fresh, zeroed child.
+	if got := v.With("a").Value(); got != 0 {
+		t.Fatalf("recreated child = %d, want 0", got)
+	}
+
+	g := r.GaugeVec("g", "h", "k")
+	g.With("a").Set(1)
+	if !g.Delete("a") {
+		t.Fatal("GaugeVec.Delete of existing child reported false")
+	}
+	h := r.HistogramVec("h_seconds", "h", nil, "k")
+	h.With("a").Observe(0.5)
+	if !h.Delete("a") {
+		t.Fatal("HistogramVec.Delete of existing child reported false")
+	}
+	if hv := r.Snapshot().Histogram("h_seconds"); hv != nil && hv.Count != 0 {
+		t.Fatalf("deleted histogram child still counted: %+v", hv)
+	}
+}
+
+func TestRegistryPrune(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("w", "h", "epoch", "det")
+	v.With("1", "0").Set(0.5)
+	v.With("1", "1").Set(0.5)
+	v.With("2", "0").Set(0.6)
+	v.With("2", "1").Set(0.4)
+
+	// Retire everything from epoch 1.
+	removed := r.Prune("w", func(values []string) bool {
+		return len(values) == 2 && values[0] == "2"
+	})
+	if removed != 2 {
+		t.Fatalf("Prune removed %d children, want 2", removed)
+	}
+	fam := r.Snapshot()["w"]
+	if len(fam.Children) != 2 {
+		t.Fatalf("family holds %d children after prune: %+v", len(fam.Children), fam.Children)
+	}
+	for key := range fam.Children {
+		if key[0] != '2' {
+			t.Fatalf("epoch-1 child %q survived the prune", key)
+		}
+	}
+
+	// Unknown families prune nothing; scalar instruments present an
+	// empty tuple.
+	if got := r.Prune("nope", func([]string) bool { return false }); got != 0 {
+		t.Fatalf("Prune of unknown family removed %d", got)
+	}
+	r.Gauge("s", "h").Set(1)
+	if got := r.Prune("s", func(values []string) bool { return len(values) != 0 }); got != 1 {
+		t.Fatalf("Prune of scalar removed %d, want 1", got)
+	}
+	if fam := r.Snapshot()["s"]; len(fam.Children) != 0 {
+		t.Fatalf("scalar child survived prune: %+v", fam.Children)
+	}
+}

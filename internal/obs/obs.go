@@ -254,6 +254,23 @@ func (f *family) child(values []string) any {
 	return m
 }
 
+// delete removes the instrument for one label-value tuple, reporting
+// whether it existed. A caller holding the child pointer can keep
+// using it; it just stops being exposed, snapshotted or resolvable.
+func (f *family) delete(values []string) bool {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.children[key]; !ok {
+		return false
+	}
+	delete(f.children, key)
+	return true
+}
+
 // Registry owns a namespace of metric families. The zero value is not
 // usable; construct with NewRegistry or use Default.
 type Registry struct {
@@ -366,3 +383,49 @@ func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...
 
 // With resolves the child for one label-value tuple.
 func (v *HistogramVec) With(values ...string) *Histogram { return v.fam.child(values).(*Histogram) }
+
+// Delete removes the child for one label-value tuple, reporting whether
+// it existed. The family stays registered (With recreates a fresh,
+// zeroed child); a retained child pointer keeps working but is no
+// longer exposed. Deleting a counter child makes the family's summed
+// value go backwards — prune only children whose series is genuinely
+// retired (e.g. a replaced pool generation's), never ones a dashboard
+// treats as monotone.
+func (v *CounterVec) Delete(values ...string) bool { return v.fam.delete(values) }
+
+// Delete removes the child for one label-value tuple; see
+// CounterVec.Delete for semantics.
+func (v *GaugeVec) Delete(values ...string) bool { return v.fam.delete(values) }
+
+// Delete removes the child for one label-value tuple; see
+// CounterVec.Delete for semantics.
+func (v *HistogramVec) Delete(values ...string) bool { return v.fam.delete(values) }
+
+// Prune removes every child of the named family whose label-value tuple
+// fails keep, returning how many were removed. Scalar instruments
+// (no labels) are presented to keep as an empty tuple. Unknown names
+// prune nothing. Like Delete, Prune is for retiring series that no
+// longer describe anything live — a scrape between Prune and the next
+// publish simply misses the retired children.
+func (r *Registry) Prune(name string, keep func(values []string) bool) int {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	removed := 0
+	for key := range f.children {
+		var values []string
+		if key != "" || len(f.labels) > 0 {
+			values = strings.Split(key, "\x00")
+		}
+		if !keep(values) {
+			delete(f.children, key)
+			removed++
+		}
+	}
+	return removed
+}

@@ -1,0 +1,22 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the engine's current Status as indented JSON — the
+// /slo endpoint. GET/HEAD only.
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(e.Status())
+	})
+}

@@ -43,6 +43,7 @@ const (
 	StageWALFsync   = "wal-fsync"  // verdict WAL append + fsync
 	StageCheckpoint = "checkpoint" // root: one snapshot generation flush
 	StagePoolSwap   = "pool-swap"  // root: one detector-pool generation swap
+	StageSLOAlert   = "slo-alert"  // root: one SLO alert-state transition
 )
 
 // TraceID is a 16-byte trace identifier, rendered as 32 hex digits.

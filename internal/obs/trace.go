@@ -37,6 +37,12 @@ const (
 	EvPoolSwap = "pool-swap"
 	EvDrift    = "drift"
 	EvCanary   = "canary"
+
+	// SLO / incident events (internal/obs/slo, internal/obs/incident):
+	// an objective's alert state changing, and a flight-recorder bundle
+	// being captured.
+	EvSLO      = "slo-alert"
+	EvIncident = "incident"
 )
 
 // Event is one structured trace record. Detector and Window are -1 when
